@@ -1,0 +1,23 @@
+# Convenience targets for the LCE reproduction.
+
+.PHONY: test bench experiments appendix extensions examples all
+
+test:
+	pytest tests/
+
+bench:
+	pytest benchmarks/ --benchmark-only
+
+experiments:
+	python -m repro.experiments.runner
+
+appendix:
+	python -m repro.experiments.runner --appendix
+
+extensions:
+	python -m repro.experiments.runner --extensions
+
+examples:
+	for ex in examples/*.py; do echo "== $$ex"; python $$ex; done
+
+all: test bench experiments appendix extensions

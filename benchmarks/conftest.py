@@ -1,0 +1,27 @@
+"""Shared benchmark helpers.
+
+Each benchmark regenerates one of the paper's tables or figures (see
+DESIGN.md's experiment index) and prints the same rows/series.  Run with::
+
+    pytest benchmarks/ --benchmark-only
+
+Timing numbers reported by pytest-benchmark measure *this harness* (the
+simulator + NumPy kernels); the paper-comparable latency numbers are the
+simulated milliseconds inside each table, printed to stdout (visible with
+``-s`` or in the captured output).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(99)
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Benchmark an expensive experiment with a single round."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)

@@ -1,0 +1,56 @@
+"""Bench appendix: Figures 11-15 and Table 5 (everything on the RPi 4B)."""
+
+from __future__ import annotations
+
+import pytest
+from conftest import run_once
+
+from repro.experiments import figure2, figure3, figure7, figure8, figure10, table2
+
+
+def test_figure11_convs(benchmark, capsys):
+    results = run_once(benchmark, figure2.run, "rpi4b")
+    by_label = {r.label: r for r in results}
+    assert 12.5 <= by_label["A"].speedup_vs_float <= 16
+    assert 18.5 <= by_label["D"].speedup_vs_float <= 23
+    with capsys.disabled():
+        print()
+        figure2.main("rpi4b")
+
+
+def test_figure12_sweep(benchmark):
+    data = run_once(benchmark, figure3.run, "rpi4b")
+    for precision, fit in data["fits"].items():
+        assert 0.9 <= fit.slope <= 1.1, precision
+
+
+def test_table5_speedups(benchmark, capsys):
+    stats = run_once(benchmark, table2.run, "rpi4b")
+    assert stats["1 vs. 32"].mean == pytest.approx(17.5, abs=1.5)
+    assert stats["1 vs. 8"].mean == pytest.approx(8.3, abs=1.0)
+    with capsys.disabled():
+        print()
+        table2.main("rpi4b")
+
+
+def test_figure13_pareto(benchmark, capsys):
+    from repro.experiments.figure7 import pareto_front
+
+    points = run_once(benchmark, figure7.run, "rpi4b")
+    front = pareto_front(points)
+    assert {"quicknet_small", "quicknet", "quicknet_large"} <= set(front)
+    with capsys.disabled():
+        print()
+        figure7.main("rpi4b")
+
+
+def test_figure14_shortcuts(benchmark):
+    results = run_once(benchmark, figure8.run, "rpi4b")
+    by_variant = {r.variant: r.latency_ms for r in results}
+    assert by_variant["A"] > by_variant["B"] > by_variant["C"]
+
+
+def test_figure15_emacs(benchmark):
+    data = run_once(benchmark, figure10.run, "rpi4b")
+    assert data["binary_ratio"] == 17.0
+    assert data["deviations"]["binary_alexnet"] > 1.0

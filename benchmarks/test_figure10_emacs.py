@@ -1,0 +1,18 @@
+"""Bench F10: eMACs vs latency — are MACs a useful proxy?"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.experiments import figure10
+
+
+def test_figure10(benchmark, capsys):
+    data = run_once(benchmark, figure10.run, "pixel1")
+    assert data["deviations"]["binary_alexnet"] > 1.05
+    assert data["deviations"]["quicknet_large"] < 1.0
+    for fam, fit in data["family_fits"].items():
+        assert fit.r_squared > 0.9, fam
+    with capsys.disabled():
+        print()
+        figure10.main("pixel1")

@@ -1,0 +1,16 @@
+"""Bench F3: the MACs-vs-latency sweep (48 convolutions x 3 precisions)."""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.experiments import figure3
+
+
+def test_figure3_sweep(benchmark, capsys):
+    data = run_once(benchmark, figure3.run, "pixel1")
+    for precision, fit in data["fits"].items():
+        assert 0.9 <= fit.slope <= 1.1, precision
+    with capsys.disabled():
+        print()
+        figure3.main("pixel1")

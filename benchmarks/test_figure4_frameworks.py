@@ -1,0 +1,26 @@
+"""Bench F4: LCE vs DaBNN vs TVM per-conv and BiRealNet end-to-end."""
+
+from __future__ import annotations
+
+import pytest
+from conftest import run_once
+
+from repro.experiments import figure4
+
+
+def test_figure4_convs(benchmark, capsys):
+    results = run_once(benchmark, figure4.run_convs, "rpi4b")
+    by_label: dict[str, dict[str, float]] = {}
+    for r in results:
+        by_label.setdefault(r.label, {})[r.framework] = r.latency_ms
+    for label, vals in by_label.items():
+        assert vals["lce"] == min(vals.values()), label
+
+
+def test_figure4_birealnet_end_to_end(benchmark, capsys):
+    e2e = run_once(benchmark, figure4.run_birealnet, "rpi4b")
+    assert e2e["lce"] == pytest.approx(86.8, rel=0.1)
+    assert e2e["dabnn"] == pytest.approx(119.8, rel=0.15)
+    with capsys.disabled():
+        print()
+        figure4.main("rpi4b")

@@ -1,0 +1,17 @@
+"""Bench F5: per-layer latency stacks for BDN28 / R2B / QuickNet Large."""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.experiments import figure5
+
+
+def test_figure5(benchmark, capsys):
+    results = run_once(benchmark, figure5.run, "pixel1")
+    by_model = {r.model: r for r in results}
+    assert by_model["quicknet_large"].binary_fraction > 0.5
+    assert by_model["realtobinarynet"].first_layer_fraction > 0.15
+    with capsys.disabled():
+        print()
+        figure5.main("pixel1")

@@ -1,0 +1,16 @@
+"""Bench F7: accuracy vs latency across the zoo (Pixel 1)."""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.experiments import figure7
+
+
+def test_figure7(benchmark, capsys):
+    points = run_once(benchmark, figure7.run, "pixel1")
+    front = figure7.pareto_front(points)
+    assert {"quicknet_small", "quicknet", "quicknet_large"} <= set(front)
+    with capsys.disabled():
+        print()
+        figure7.main("pixel1")

@@ -1,0 +1,18 @@
+"""Bench F8: the shortcut ablation of binarized ResNet-18."""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.experiments import figure8
+
+
+def test_figure8(benchmark, capsys):
+    results = run_once(benchmark, figure8.run, "pixel1")
+    by_variant = {r.variant: r.latency_ms for r in results}
+    assert by_variant["A"] > by_variant["B"] > by_variant["C"]
+    # regular shortcuts cost little (paper Section 5.2)
+    assert (by_variant["B"] - by_variant["C"]) / by_variant["C"] < 0.15
+    with capsys.disabled():
+        print()
+        figure8.main("pixel1")

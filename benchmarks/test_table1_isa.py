@@ -1,0 +1,20 @@
+"""Bench T1: regenerate paper Table 1 (MAC instruction analysis)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import table1
+
+
+def test_table1(benchmark, capsys):
+    data = benchmark(table1.run)
+    by_precision = {r["precision"]: r["macs_per_cycle"] for r in data["rows"]}
+    assert by_precision == {
+        "float": 8,
+        "8-bit": 32,
+        "binary": pytest.approx(78.77, abs=0.01),
+    }
+    with capsys.disabled():
+        print()
+        table1.main()

@@ -1,0 +1,20 @@
+"""Bench T2: binarization speedup statistics on the Pixel 1."""
+
+from __future__ import annotations
+
+import pytest
+from conftest import run_once
+
+from repro.experiments import table2
+
+
+def test_table2(benchmark, capsys):
+    stats = run_once(benchmark, table2.run, "pixel1")
+    assert stats["1 vs. 32"].mean == pytest.approx(15.0, abs=1.0)
+    assert stats["1 vs. 8"].mean == pytest.approx(10.8, abs=1.0)
+    with capsys.disabled():
+        print()
+        table2.main("pixel1")
+        paper = table2.PAPER_VALUES[("pixel1", "float32")]
+        print(f"paper 1 vs. 32: mean {paper['mean']}x wm {paper['weighted_mean']}x "
+              f"range {paper['range'][0]}-{paper['range'][1]}x")

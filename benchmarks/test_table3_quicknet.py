@@ -1,0 +1,17 @@
+"""Bench T3: QuickNet variants — architecture, accuracy, latency."""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.experiments import table3
+
+
+def test_table3(benchmark, capsys):
+    rows = run_once(benchmark, table3.run, "pixel1")
+    by_variant = {r.variant: r for r in rows}
+    assert by_variant["small"].latency_ms < by_variant["large"].latency_ms
+    assert by_variant["large"].eval_accuracy == 66.9
+    with capsys.disabled():
+        print()
+        table3.main("pixel1")

@@ -1,0 +1,18 @@
+"""Bench T4: QuickNet per-operator latency shares on the RPi 4B."""
+
+from __future__ import annotations
+
+import pytest
+from conftest import run_once
+
+from repro.experiments import table4
+
+
+def test_table4(benchmark, capsys):
+    shares = run_once(benchmark, table4.run, "rpi4b")
+    got = {s.op_class: s.share_percent for s in shares}
+    for op_class, paper in table4.PAPER_SHARES.items():
+        assert got[op_class] == pytest.approx(paper, abs=3.0), op_class
+    with capsys.disabled():
+        print()
+        table4.main("rpi4b")

@@ -1,0 +1,55 @@
+"""Compare binary vs int8 vs float32 convolution latency on-device.
+
+The workload of paper Figures 2/3: sweep convolution shapes, measure each
+precision on the calibrated device models, and print speedups plus the
+Table 2 summary statistics.  This is the experiment a practitioner runs to
+decide whether binarizing their network's convolutions is worth it on
+their target device.
+
+Run with::
+
+    python examples/compare_precisions.py [pixel1|rpi4b]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.analysis.speedup import speedup_stats
+from repro.core.types import Padding
+from repro.hw import DeviceModel
+from repro.hw.latency import conv_cost
+
+
+def main(device_name: str = "pixel1") -> None:
+    device = DeviceModel.by_name(device_name)
+    print(f"device: {device.name} @ {device.freq_hz / 1e9:.2f} GHz\n")
+
+    header = f"{'conv (hw x ch, k)':>22} {'float ms':>10} {'int8 ms':>9} {'binary ms':>10} {'vs float':>9} {'vs int8':>8}"
+    print(header)
+    print("-" * len(header))
+
+    float_lat, binary_lat = [], []
+    for channels in (32, 64, 128, 256):
+        for hw in (14, 28, 56):
+            for k in (3, 5):
+                f = conv_cost(device, "float32", 1, hw, hw, channels, channels,
+                              k, k, padding=Padding.SAME_ZERO).total_ms
+                i8 = conv_cost(device, "int8", 1, hw, hw, channels, channels,
+                               k, k, padding=Padding.SAME_ZERO).total_ms
+                b = conv_cost(device, "binary", 1, hw, hw, channels, channels,
+                              k, k, padding=Padding.SAME_ONE).total_ms
+                float_lat.append(f)
+                binary_lat.append(b)
+                print(f"{hw:>4}x{hw:<4}x{channels:<4} k={k}    "
+                      f"{f:>10.3f} {i8:>9.3f} {b:>10.3f} {f / b:>8.1f}x {i8 / b:>7.1f}x")
+
+    stats = speedup_stats(float_lat, binary_lat)
+    print(f"\nbinary vs float over this sweep: mean {stats.mean:.1f}x, "
+          f"weighted mean {stats.weighted_mean:.1f}x, "
+          f"range {stats.minimum:.1f}-{stats.maximum:.1f}x")
+    print("(paper Table 2, Pixel 1: mean 15.0x, weighted 15.1x, range 8.5-18.5x)")
+
+
+if __name__ == "__main__":
+    main(*sys.argv[1:2])

@@ -1,0 +1,66 @@
+"""Quickstart: build a BNN, convert it, run it, estimate device latency.
+
+The end-to-end workflow of the paper's Figure 1 in a dozen lines:
+a Larq-style training graph goes through the converter into an LCE
+inference model with true binarized operators and bitpacked weights,
+executes on the NumPy runtime, and gets a latency estimate on the
+calibrated Pixel 1 model.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+import tempfile
+from pathlib import Path
+
+import numpy as np
+
+from repro import convert
+from repro.graph import Executor, load_model, save_model
+from repro.hw import DeviceModel
+from repro.hw.latency import graph_latency
+from repro.zoo import quicknet
+
+
+def main() -> None:
+    # 1. Build the training graph (QuickNet Small, paper Table 3 row 1).
+    training_graph = quicknet("small")
+    print(f"training graph: {len(training_graph)} nodes, "
+          f"{training_graph.param_nbytes() / 1e6:.1f} MB of float parameters")
+
+    # 2. Convert: fuse batch norms and activations, replace emulated binary
+    #    convolutions with LceBConv2d, bitpack weights.
+    model = convert(training_graph)
+    r = model.report
+    print(f"converted:      {r.nodes_before} -> {r.nodes_after} nodes, "
+          f"parameters {r.param_bytes_before / 1e6:.1f} -> "
+          f"{r.param_bytes_after / 1e6:.1f} MB "
+          f"({r.weight_compression:.1f}x smaller)")
+
+    # 3. Run inference on the NumPy runtime.
+    rng = np.random.default_rng(0)
+    image = rng.standard_normal((1, 224, 224, 3)).astype(np.float32)
+    probs = Executor(model.graph).run(image)
+    top5 = np.argsort(probs[0])[-5:][::-1]
+    print(f"inference OK:   output shape {probs.shape}, top-5 classes {top5.tolist()}")
+
+    # 4. Estimate on-device latency on both calibrated device models.
+    for device in (DeviceModel.pixel1(), DeviceModel.rpi4b()):
+        ms = graph_latency(device, model.graph).total_ms
+        print(f"estimated latency on {device.name}: {ms:.1f} ms")
+
+    # 5. Save the deployable model file and load it back.
+    with tempfile.TemporaryDirectory() as tmp:
+        path = Path(tmp) / "quicknet_small.lce"
+        size = save_model(model.graph, path)
+        reloaded = load_model(path)
+        again = Executor(reloaded).run(image)
+        assert np.array_equal(probs, again)
+        print(f"model file:     {size / 1e6:.2f} MB, reload round-trip exact")
+
+
+if __name__ == "__main__":
+    main()

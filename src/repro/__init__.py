@@ -1,0 +1,41 @@
+"""repro — a pure-Python reproduction of Larq Compute Engine (MLSys 2021).
+
+Larq Compute Engine (LCE) is a Binarized Neural Network (BNN) inference
+engine built on TensorFlow Lite.  This package reproduces, from scratch and
+on NumPy only, every system the paper describes:
+
+- :mod:`repro.core` — the LCE operator set: bitpacking, binary GEMM,
+  ``LceBConv2d``, ``LceQuantize``/``LceDequantize``, ``LceBMaxPool2d``.
+- :mod:`repro.kernels` — the full-precision and int8 substrate operators
+  (the TFLite-equivalent ops a mixed-precision BNN needs).
+- :mod:`repro.graph` — a small graph IR, executor and model serialization
+  with 1-bit packed binary weights.
+- :mod:`repro.converter` — the MLIR-converter analog: a pass pipeline that
+  turns training graphs into optimized inference graphs.
+- :mod:`repro.training` — latent-weight / straight-through-estimator
+  training substrate (the Larq analog).
+- :mod:`repro.zoo` — QuickNet and the literature BNNs used in the paper's
+  evaluation (the Larq Zoo analog).
+- :mod:`repro.hw` — an analytical latency model of ARMv8-A devices
+  (Pixel 1, Raspberry Pi 4B) and of competing inference frameworks.
+- :mod:`repro.profiling`, :mod:`repro.analysis` — op-level profiling, MAC
+  counting, speedup statistics.
+- :mod:`repro.experiments` — one module per table/figure of the paper.
+
+Quickstart::
+
+    import numpy as np
+    from repro import convert, zoo
+    from repro.graph import Executor
+    from repro.hw import DeviceModel
+
+    training_graph = zoo.quicknet("small")
+    model = convert(training_graph)            # training graph -> LCE model
+    out = Executor(model.graph).run(np.random.randn(1, 224, 224, 3))
+    latency_ms = DeviceModel.pixel1().graph_latency_ms(model.graph)
+"""
+
+from repro.converter import convert
+from repro.version import __version__
+
+__all__ = ["convert", "__version__"]

@@ -1,0 +1,26 @@
+"""Model analysis: MAC counting, speedup statistics, regressions.
+
+Supports the paper's Section 5.3 question — are MACs a useful proxy for
+latency? — and the Table 2/5 speedup summaries.
+"""
+
+from repro.analysis.macs import MacCount, count_macs, emacs
+from repro.analysis.regression import loglog_fit
+from repro.analysis.search import CandidateResult, evaluate_candidate, search
+from repro.analysis.speedup import SpeedupStats, speedup_stats
+from repro.analysis.summary import LayerSummary, format_summary, model_summary
+
+__all__ = [
+    "CandidateResult",
+    "LayerSummary",
+    "MacCount",
+    "SpeedupStats",
+    "count_macs",
+    "emacs",
+    "evaluate_candidate",
+    "format_summary",
+    "loglog_fit",
+    "model_summary",
+    "search",
+    "speedup_stats",
+]

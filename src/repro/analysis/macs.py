@@ -1,0 +1,112 @@
+"""MAC counting for graphs and the eMACs proxy metric.
+
+The paper (Section 5.3, Figures 10/15) evaluates MACs as a latency proxy
+by combining binary and full-precision MACs into *eMACs*: the number of
+equivalent full-precision MACs under an assumed speedup ratio (15 binary
+MACs per fp MAC on the Pixel 1, 17 on the RPi 4B — from the Table 2/5
+measurements).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.im2col import conv_geometry
+from repro.core.types import Padding
+from repro.graph.ir import Graph, Node
+
+#: the paper's assumed binary:fp equivalence for the Pixel 1 (Figure 10)
+PIXEL1_BINARY_RATIO = 15.0
+#: and for the Raspberry Pi 4B (Figure 15)
+RPI4B_BINARY_RATIO = 17.0
+
+
+@dataclass(frozen=True)
+class MacCount:
+    """Binary and full-precision multiply-accumulate counts."""
+
+    binary: int = 0
+    full_precision: int = 0
+
+    @property
+    def total(self) -> int:
+        return self.binary + self.full_precision
+
+    def emacs(self, binary_ratio: float = PIXEL1_BINARY_RATIO) -> float:
+        """Equivalent fp MACs assuming ``binary_ratio`` binary MACs per fp MAC."""
+        if binary_ratio <= 0:
+            raise ValueError("binary_ratio must be positive")
+        return self.full_precision + self.binary / binary_ratio
+
+    def __add__(self, other: "MacCount") -> "MacCount":
+        return MacCount(
+            binary=self.binary + other.binary,
+            full_precision=self.full_precision + other.full_precision,
+        )
+
+
+def emacs(count: MacCount, binary_ratio: float = PIXEL1_BINARY_RATIO) -> float:
+    return count.emacs(binary_ratio)
+
+
+def _conv_macs(graph: Graph, node: Node) -> tuple[int, bool]:
+    in_spec = graph.tensors[node.inputs[0]]
+    _, h, w, _ = in_spec.shape
+    if node.op == "lce_bconv2d":
+        kh = int(node.attrs["kernel_h"])
+        kw = int(node.attrs["kernel_w"])
+        cin = int(node.attrs["in_channels"]) // int(node.attr("groups", 1))
+        cout = int(node.attrs["out_channels"])
+        binary = True
+    else:
+        kh, kw, cin, cout = node.params["weights"].shape
+        binary = bool(node.attr("binary_weights"))
+    geom = conv_geometry(
+        h, w, kh, kw,
+        int(node.attr("stride", 1)),
+        int(node.attr("dilation", 1)),
+        Padding(node.attr("padding", Padding.SAME_ZERO)),
+    )
+    batch = in_spec.shape[0]
+    macs = batch * geom.out_h * geom.out_w * kh * kw * cin * cout
+    return macs, binary
+
+
+def node_macs(graph: Graph, node: Node) -> MacCount:
+    """MACs performed by one node (zero for non-MAC ops).
+
+    int8 ops count as full-precision MACs: the eMAC metric of the paper
+    only distinguishes binary from "everything multi-bit".
+    """
+    if node.op in ("conv2d", "lce_bconv2d"):
+        macs, binary = _conv_macs(graph, node)
+        return MacCount(binary=macs) if binary else MacCount(full_precision=macs)
+    if node.op == "conv2d_int8":
+        kh, kw, cin, cout = node.params["weights_q"].shape
+        out = graph.tensors[node.outputs[0]].shape
+        pixels = int(np.prod(out[:-1]))
+        return MacCount(full_precision=pixels * kh * kw * cin * cout)
+    if node.op == "depthwise_conv2d":
+        kh, kw, _ = node.params["weights"].shape
+        out_elems = int(np.prod(graph.tensors[node.outputs[0]].shape))
+        return MacCount(full_precision=out_elems * kh * kw)
+    if node.op in ("dense", "dense_int8"):
+        w = node.params["weights" if node.op == "dense" else "weights_q"]
+        batch = int(np.prod(graph.tensors[node.inputs[0]].shape[:-1]))
+        return MacCount(full_precision=batch * w.shape[0] * w.shape[1])
+    return MacCount()
+
+
+def count_macs(graph: Graph) -> MacCount:
+    """Total binary and full-precision MACs of a graph.
+
+    Works on training graphs (``binary_weights`` convs count as binary) and
+    converted graphs (``lce_bconv2d``) alike, so the count is invariant
+    under conversion — a property the tests pin down.
+    """
+    total = MacCount()
+    for node in graph.nodes:
+        total = total + node_macs(graph, node)
+    return total

@@ -1,0 +1,52 @@
+"""Log-log least-squares regression (the dotted lines of Figures 3/12)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class LogLogFit:
+    """Fit of ``log(y) = slope * log(x) + intercept``."""
+
+    slope: float
+    intercept: float
+    r_squared: float
+
+    def predict(self, x: np.ndarray | float) -> np.ndarray | float:
+        return np.exp(self.intercept) * np.power(x, self.slope)
+
+
+def loglog_fit(x: Sequence[float], y: Sequence[float]) -> LogLogFit:
+    """Least-squares fit on log-log axes.
+
+    An approximately linear MACs-latency relationship shows up as slope
+    close to 1; deviations from the fitted line are the paper's evidence
+    that MACs are not a uniform latency predictor.
+    """
+    xa = np.asarray(x, dtype=np.float64)
+    ya = np.asarray(y, dtype=np.float64)
+    if xa.shape != ya.shape or xa.ndim != 1 or xa.size < 2:
+        raise ValueError("need two equal-length 1-D samples of at least 2 points")
+    if np.any(xa <= 0) or np.any(ya <= 0) or not (
+        np.all(np.isfinite(xa)) and np.all(np.isfinite(ya))
+    ):
+        raise ValueError("x and y must be positive and finite")
+    lx = np.log(xa)
+    ly = np.log(ya)
+    # Manual least squares on centered data (avoids polyfit conditioning
+    # warnings for tightly clustered samples).
+    mx, my = lx.mean(), ly.mean()
+    var = float(np.sum((lx - mx) ** 2))
+    if var == 0:
+        raise ValueError("x values are all identical; cannot fit a slope")
+    slope = float(np.sum((lx - mx) * (ly - my)) / var)
+    intercept = my - slope * mx
+    pred = slope * lx + intercept
+    ss_res = float(np.sum((ly - pred) ** 2))
+    ss_tot = float(np.sum((ly - ly.mean()) ** 2))
+    r2 = 1.0 - ss_res / ss_tot if ss_tot > 0 else 1.0
+    return LogLogFit(slope=float(slope), intercept=float(intercept), r_squared=r2)

@@ -1,0 +1,53 @@
+"""Speedup statistics over a population of benchmarks (Tables 2 and 5)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class SpeedupStats:
+    """Mean / latency-weighted mean / range of per-case speedups."""
+
+    mean: float
+    weighted_mean: float
+    minimum: float
+    maximum: float
+    count: int
+
+    def as_row(self) -> dict[str, float | str]:
+        """Formatted like a Table 2 row."""
+        return {
+            "mean": f"{self.mean:.1f}x",
+            "weighted_mean": f"{self.weighted_mean:.1f}x",
+            "range": f"{self.minimum:.1f}-{self.maximum:.1f}x",
+        }
+
+
+def speedup_stats(
+    baseline_latencies: Sequence[float],
+    fast_latencies: Sequence[float],
+) -> SpeedupStats:
+    """Per-case speedups of ``fast`` over ``baseline``.
+
+    The weighted mean weights each case by its baseline (full-precision)
+    latency, the paper's "speeding up larger convolutions is more
+    important" weighting.
+    """
+    base = np.asarray(baseline_latencies, dtype=np.float64)
+    fast = np.asarray(fast_latencies, dtype=np.float64)
+    if base.shape != fast.shape or base.ndim != 1 or base.size == 0:
+        raise ValueError("latency sequences must be equal-length, non-empty 1-D")
+    if np.any(base <= 0) or np.any(fast <= 0):
+        raise ValueError("latencies must be positive")
+    speedups = base / fast
+    return SpeedupStats(
+        mean=float(speedups.mean()),
+        weighted_mean=float(np.average(speedups, weights=base)),
+        minimum=float(speedups.min()),
+        maximum=float(speedups.max()),
+        count=int(base.size),
+    )

@@ -1,0 +1,69 @@
+"""Model summaries (the ``larq.models.summary`` analog).
+
+Per-layer table of output shapes, parameter memory, and binary/fp MAC
+counts, with totals — the quick sanity view a model author reads before
+trusting any benchmark of the architecture.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.macs import MacCount, node_macs
+from repro.graph.ir import Graph
+
+
+@dataclass(frozen=True)
+class LayerSummary:
+    name: str
+    op: str
+    output_shape: tuple[int, ...]
+    output_dtype: str
+    param_bytes: int
+    macs: MacCount
+
+
+def model_summary(graph: Graph) -> list[LayerSummary]:
+    """Per-node summary rows in topological order."""
+    rows = []
+    for node in graph.nodes:
+        spec = graph.tensors[node.outputs[0]]
+        rows.append(
+            LayerSummary(
+                name=node.name,
+                op=node.op,
+                output_shape=spec.shape,
+                output_dtype=spec.dtype,
+                param_bytes=node.param_nbytes(),
+                macs=node_macs(graph, node),
+            )
+        )
+    return rows
+
+
+def format_summary(graph: Graph) -> str:
+    """Human-readable summary table with totals."""
+    rows = model_summary(graph)
+    header = (
+        f"{'layer':<28} {'op':<18} {'output':<20} {'dtype':<10} "
+        f"{'params':>10} {'binary MACs':>12} {'fp MACs':>10}"
+    )
+    lines = [graph.name, header, "-" * len(header)]
+    total = MacCount()
+    total_bytes = 0
+    for r in rows:
+        total = total + r.macs
+        total_bytes += r.param_bytes
+        lines.append(
+            f"{r.name:<28} {r.op:<18} {str(r.output_shape):<20} "
+            f"{r.output_dtype:<10} {r.param_bytes:>10,} "
+            f"{r.macs.binary:>12,} {r.macs.full_precision:>10,}"
+        )
+    lines.append("-" * len(header))
+    binary_share = 100.0 * total.binary / total.total if total.total else 0.0
+    lines.append(
+        f"total: {len(rows)} ops, {total_bytes / 1e6:.2f} MB parameters, "
+        f"{total.binary / 1e6:.0f}M binary + {total.full_precision / 1e6:.0f}M fp MACs "
+        f"({binary_share:.0f}% binary)"
+    )
+    return "\n".join(lines)

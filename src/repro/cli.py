@@ -1,0 +1,146 @@
+"""Command-line interface: benchmark / profile / convert / summarize.
+
+The deployment-side tooling a released inference engine ships with::
+
+    python -m repro benchmark --model quicknet --device pixel1 --threads 4
+    python -m repro profile   --model binarydensenet28 --device rpi4b
+    python -m repro summarize --model quicknet_small
+    python -m repro convert   --model quicknet --output model.lce
+    python -m repro experiments [--appendix|--extensions]
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.analysis.summary import format_summary
+from repro.converter import convert
+from repro.graph.serialization import save_model
+from repro.hw.device import DeviceModel
+from repro.hw.latency import graph_latency
+from repro.profiling import profile_graph, quicknet_table4_rows
+from repro.zoo import MODEL_REGISTRY, build_model
+
+
+def _add_model_arg(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--model", default="quicknet", choices=sorted(MODEL_REGISTRY),
+        help="zoo model to operate on",
+    )
+    parser.add_argument(
+        "--input-size", type=int, default=224, help="spatial input resolution"
+    )
+
+
+def _add_device_arg(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--device", default="pixel1", choices=("pixel1", "rpi4b"),
+        help="calibrated device profile",
+    )
+
+
+def _build_converted(args):
+    graph = build_model(args.model, input_size=args.input_size)
+    return convert(graph, in_place=True)
+
+
+def cmd_benchmark(args) -> int:
+    model = _build_converted(args)
+    device = DeviceModel.by_name(args.device)
+    latency = graph_latency(device, model.graph, threads=args.threads)
+    print(
+        f"{args.model} on {args.device} ({args.threads} thread"
+        f"{'s' if args.threads > 1 else ''}): {latency.total_ms:.1f} ms"
+    )
+    return 0
+
+
+def cmd_profile(args) -> int:
+    model = _build_converted(args)
+    device = DeviceModel.by_name(args.device)
+    profiles = profile_graph(device, model.graph)
+    total = sum(p.simulated_s for p in profiles)
+    print(f"{args.model} on {args.device}: {total * 1e3:.1f} ms\n")
+    for row in quicknet_table4_rows(profiles):
+        print(f"  {row.op_class:<38} {row.share_percent:6.2f}%")
+    return 0
+
+
+def cmd_summarize(args) -> int:
+    graph = build_model(args.model, input_size=args.input_size)
+    if args.converted:
+        graph = convert(graph, in_place=True).graph
+    print(format_summary(graph))
+    return 0
+
+
+def cmd_convert(args) -> int:
+    model = _build_converted(args)
+    size = save_model(model.graph, args.output)
+    r = model.report
+    print(
+        f"wrote {args.output}: {size / 1e6:.2f} MB "
+        f"({r.nodes_before} -> {r.nodes_after} nodes, "
+        f"{r.weight_compression:.1f}x parameter compression)"
+    )
+    return 0
+
+
+def cmd_experiments(args) -> int:
+    from repro.experiments import runner
+
+    if args.appendix:
+        runner.run_appendix()
+    elif args.extensions:
+        runner.run_extensions()
+    else:
+        runner.run_main_text()
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="Larq Compute Engine reproduction tooling"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("benchmark", help="estimate on-device latency of a zoo model")
+    _add_model_arg(p)
+    _add_device_arg(p)
+    p.add_argument("--threads", type=int, default=1)
+    p.set_defaults(fn=cmd_benchmark)
+
+    p = sub.add_parser("profile", help="per-operator latency breakdown")
+    _add_model_arg(p)
+    _add_device_arg(p)
+    p.set_defaults(fn=cmd_profile)
+
+    p = sub.add_parser("summarize", help="per-layer shapes, params and MACs")
+    _add_model_arg(p)
+    p.add_argument(
+        "--converted", action="store_true",
+        help="summarize the converted inference graph instead of the training graph",
+    )
+    p.set_defaults(fn=cmd_summarize)
+
+    p = sub.add_parser("convert", help="convert a zoo model and write the .lce file")
+    _add_model_arg(p)
+    p.add_argument("--output", default="model.lce")
+    p.set_defaults(fn=cmd_convert)
+
+    p = sub.add_parser("experiments", help="regenerate the paper's tables/figures")
+    p.add_argument("--appendix", action="store_true")
+    p.add_argument("--extensions", action="store_true")
+    p.set_defaults(fn=cmd_experiments)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,11 @@
+"""The LCE converter: one API endpoint, like the PyPI package's converter.
+
+:func:`convert` maps a *training graph* (float-emulated binarized ops, as
+built by :mod:`repro.training.layers` or :mod:`repro.zoo`) to an optimized
+*inference graph* with true LCE operators, fused transforms and bitpacked
+weights — the role the paper's MLIR-based converter plays (Section 3.1).
+"""
+
+from repro.converter.convert import ConversionReport, ConvertedModel, convert
+
+__all__ = ["ConversionReport", "ConvertedModel", "convert"]

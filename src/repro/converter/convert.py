@@ -1,0 +1,68 @@
+"""Training-graph to inference-model conversion."""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass, field
+
+from repro.graph.ir import Graph
+from repro.graph.passes import default_pipeline
+
+
+@dataclass(frozen=True)
+class ConversionReport:
+    """What the pass pipeline did to the graph."""
+
+    nodes_before: int
+    nodes_after: int
+    pass_changes: dict[str, int] = field(default_factory=dict)
+    param_bytes_before: int = 0
+    param_bytes_after: int = 0
+
+    @property
+    def weight_compression(self) -> float:
+        """Model-parameter size ratio before/after conversion.
+
+        Binary weights shrink 32x (1 bit vs float32); the overall factor
+        depends on the binary fraction of the model.
+        """
+        if self.param_bytes_after == 0:
+            return float("inf")
+        return self.param_bytes_before / self.param_bytes_after
+
+
+@dataclass(frozen=True)
+class ConvertedModel:
+    """An inference-ready model: optimized graph + conversion report."""
+
+    graph: Graph
+    report: ConversionReport
+
+
+def convert(training_graph: Graph, in_place: bool = False) -> ConvertedModel:
+    """Convert a training graph into an optimized LCE inference model.
+
+    Runs the default pass pipeline: emulated binarized convolutions become
+    ``LceBConv2d`` with bitpacked weights; batch norms and activations fuse
+    into the preceding ops; MaxPools move behind binarization; back-to-back
+    binarized convolutions exchange bitpacked data via precomputed
+    thresholds; dead emulation ops are removed.
+
+    Args:
+        training_graph: graph built by the zoo / training layers.
+        in_place: mutate the given graph instead of deep-copying it first.
+    """
+    graph = training_graph if in_place else copy.deepcopy(training_graph)
+    graph.verify()
+    nodes_before = len(graph)
+    bytes_before = graph.param_nbytes()
+    changes = default_pipeline().run(graph)
+    graph.verify()
+    report = ConversionReport(
+        nodes_before=nodes_before,
+        nodes_after=len(graph),
+        pass_changes=changes,
+        param_bytes_before=bytes_before,
+        param_bytes_after=graph.param_nbytes(),
+    )
+    return ConvertedModel(graph=graph, report=report)

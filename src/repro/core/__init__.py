@@ -1,0 +1,81 @@
+"""The LCE operator set: the paper's primary contribution.
+
+This subpackage implements the binarized operators described in Section 3.2
+of the paper with bit-exact semantics:
+
+- :mod:`repro.core.bitpack` — channel-axis bitpacking (``LceQuantize``'s
+  storage format): bit 0 encodes +1.0, bit 1 encodes -1.0.
+- :mod:`repro.core.bgemm` — binary GEMM via XOR + popcount.
+- :mod:`repro.core.im2col` — im2col for float and bitpacked tensors with
+  LCE's one-padding.
+- :mod:`repro.core.bconv2d` — ``LceBConv2d`` with fused multiplier/bias/
+  activation, float or bitpacked output, one- or zero-padding.
+- :mod:`repro.core.quantize_ops` — ``LceQuantize`` / ``LceDequantize``.
+- :mod:`repro.core.bmaxpool` — ``LceBMaxPool2d`` (bitwise-AND max pooling).
+- :mod:`repro.core.output_transform` — accumulator-to-output stage,
+  including the precomputed-threshold path for bitpacked output.
+"""
+
+from repro.core.bconv2d import (
+    BConv2DParams,
+    PackedFilters,
+    bconv2d,
+    bconv2d_reference,
+    pack_filters,
+    unpack_filters,
+    zero_padding_correction,
+)
+from repro.core.bgemm import bgemm, bgemm_blocked, bgemm_reference
+from repro.core.threading import bgemm_parallel
+from repro.core.bitpack import (
+    WORD_BITS,
+    PackedTensor,
+    pack_bits,
+    packed_words,
+    popcount,
+    unpack_bits,
+)
+from repro.core.bmaxpool import bmaxpool2d
+from repro.core.im2col import ConvGeometry, conv_geometry, im2col_float, im2col_packed
+from repro.core.output_transform import (
+    OutputThresholds,
+    accumulators_to_bitpacked,
+    accumulators_to_float,
+    compute_output_thresholds,
+)
+from repro.core.quantize_ops import lce_dequantize, lce_quantize
+from repro.core.types import Activation, OutputType, Padding
+
+__all__ = [
+    "Activation",
+    "BConv2DParams",
+    "ConvGeometry",
+    "OutputThresholds",
+    "OutputType",
+    "PackedFilters",
+    "PackedTensor",
+    "Padding",
+    "WORD_BITS",
+    "accumulators_to_bitpacked",
+    "accumulators_to_float",
+    "bconv2d",
+    "bconv2d_reference",
+    "bgemm",
+    "bgemm_blocked",
+    "bgemm_parallel",
+    "bgemm_reference",
+    "bmaxpool2d",
+    "compute_output_thresholds",
+    "conv_geometry",
+    "im2col_float",
+    "im2col_packed",
+    "lce_dequantize",
+    "lce_quantize",
+    "pack_bits",
+    "pack_filters",
+    "packed_words",
+    "popcount",
+    "unpack_bits",
+    "unpack_filters",
+    "zero_padding_correction",
+]

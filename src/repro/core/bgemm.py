@@ -1,0 +1,107 @@
+"""BGEMM — Binary GEneral Matrix Multiplication via XOR + popcount.
+
+The paper's BGEMM kernel (Section 3.2, Table 1) multiplies bitpacked
+activation rows against bitpacked weight rows using ``eor`` (XOR) for the
+multiplication, ``cnt`` for the per-byte popcount and ``addp``/``uadalp``
+for the accumulation, reaching ~78 binary MACs per cycle on a Cortex-A76.
+
+Here the same arithmetic runs vectorized on uint64 words::
+
+    acc[m, n] = K - 2 * sum_w popcount(A[m, w] XOR B[n, w])
+
+where ``K`` is the true depth (number of +/-1 operands per dot product) and
+``w`` ranges over the packed words.  Three implementations are provided:
+
+- :func:`bgemm_reference` — scalar loops; the gold standard used in tests
+  (kept per the project's "reference implementation in tests" idiom).
+- :func:`bgemm` — fully vectorized broadcastized XOR-popcount.
+- :func:`bgemm_blocked` — Ruy-style cache tiling over M/N panels; identical
+  results, bounded temporary memory.  This mirrors the production kernel's
+  packing/tiling structure and is what ``LceBConv2d`` calls.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.bitpack import popcount
+
+#: Tile sizes for the blocked kernel.  Chosen so the XOR temporary stays
+#: around (256 * 128 * words) u64 elements — a few MiB at most.
+_TILE_M = 256
+_TILE_N = 128
+
+
+def _check_operands(a: np.ndarray, b: np.ndarray, depth: int) -> None:
+    if a.dtype != np.uint64 or b.dtype != np.uint64:
+        raise TypeError(f"BGEMM operands must be uint64, got {a.dtype}/{b.dtype}")
+    if a.ndim != 2 or b.ndim != 2:
+        raise ValueError(f"BGEMM operands must be 2-D, got {a.ndim}-D/{b.ndim}-D")
+    if a.shape[1] != b.shape[1]:
+        raise ValueError(f"word-count mismatch: {a.shape[1]} vs {b.shape[1]}")
+    if depth <= 0 or depth > a.shape[1] * 64:
+        raise ValueError(f"depth {depth} out of range for {a.shape[1]} words")
+
+
+def bgemm_reference(a: np.ndarray, b: np.ndarray, depth: int) -> np.ndarray:
+    """Scalar-loop BGEMM, the easy-to-audit gold standard.
+
+    Args:
+        a: ``(M, W)`` uint64 bitpacked left operand (e.g. im2col patches).
+        b: ``(N, W)`` uint64 bitpacked right operand (e.g. filters).
+        depth: true number of +/-1 elements per row (un-padded bit count).
+
+    Returns:
+        ``(M, N)`` int32 accumulators: the exact +/-1 dot products.
+    """
+    _check_operands(a, b, depth)
+    m, _ = a.shape
+    n, _ = b.shape
+    out = np.empty((m, n), dtype=np.int32)
+    for i in range(m):
+        for j in range(n):
+            xnor_pop = int(popcount(np.bitwise_xor(a[i], b[j])).sum())
+            out[i, j] = depth - 2 * xnor_pop
+    return out
+
+
+def bgemm(a: np.ndarray, b: np.ndarray, depth: int) -> np.ndarray:
+    """Vectorized BGEMM over full operand matrices.
+
+    Builds the full ``(M, N, W)`` XOR temporary; prefer
+    :func:`bgemm_blocked` when M*N is large.
+    """
+    _check_operands(a, b, depth)
+    x = np.bitwise_xor(a[:, None, :], b[None, :, :])
+    pops = popcount(x).sum(axis=-1, dtype=np.int32)
+    return np.int32(depth) - np.int32(2) * pops
+
+
+def bgemm_blocked(
+    a: np.ndarray,
+    b: np.ndarray,
+    depth: int,
+    tile_m: int = _TILE_M,
+    tile_n: int = _TILE_N,
+) -> np.ndarray:
+    """Cache-tiled BGEMM mirroring Ruy-style panel blocking.
+
+    Processes ``tile_m x tile_n`` output panels so the XOR temporary stays
+    small regardless of problem size.  Bit-identical to :func:`bgemm`.
+    """
+    _check_operands(a, b, depth)
+    if tile_m <= 0 or tile_n <= 0:
+        raise ValueError("tile sizes must be positive")
+    m = a.shape[0]
+    n = b.shape[0]
+    out = np.empty((m, n), dtype=np.int32)
+    for i0 in range(0, m, tile_m):
+        a_panel = a[i0 : i0 + tile_m]
+        for j0 in range(0, n, tile_n):
+            b_panel = b[j0 : j0 + tile_n]
+            x = np.bitwise_xor(a_panel[:, None, :], b_panel[None, :, :])
+            pops = popcount(x).sum(axis=-1, dtype=np.int32)
+            out[i0 : i0 + tile_m, j0 : j0 + tile_n] = (
+                np.int32(depth) - np.int32(2) * pops
+            )
+    return out

@@ -1,0 +1,31 @@
+"""``LceQuantize`` and ``LceDequantize``.
+
+``LceQuantize`` binarizes float activations by extracting sign bits into the
+bitpacked format (:mod:`repro.core.bitpack`).  ``LceDequantize`` is the
+inverse, producing +/-1.0 float values; it exists for completeness (e.g.
+when a binarized output must feed an op with no bitpacked kernel).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.bitpack import PackedTensor, pack_bits, unpack_bits
+
+
+def lce_quantize(x: np.ndarray) -> PackedTensor:
+    """Binarize and bitpack a float tensor along its channel (last) axis.
+
+    Zero and positive values map to +1.0 (bit 0); negatives to -1.0 (bit 1).
+    """
+    x = np.asarray(x)
+    if not np.issubdtype(x.dtype, np.floating) and not np.issubdtype(
+        x.dtype, np.integer
+    ):
+        raise TypeError(f"cannot binarize dtype {x.dtype}")
+    return pack_bits(x)
+
+
+def lce_dequantize(packed: PackedTensor) -> np.ndarray:
+    """Decode bitpacked data back to a +/-1.0 float32 tensor."""
+    return unpack_bits(packed)

@@ -1,0 +1,94 @@
+"""Figure 10 (and appendix Figure 15) — are MACs a useful latency proxy?
+
+The paper combines binary and fp MACs into *eMACs* (15 binary MACs = 1 fp
+MAC on the Pixel 1; 17 on the RPi 4B, from the Table 2/5 measurements) and
+compares against measured latency: MACs track latency within a model
+family, but break down across architectures — Binary AlexNet is almost 2x
+slower than models with the same eMACs while matching the latency of
+models with over 3x the eMACs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.macs import PIXEL1_BINARY_RATIO, RPI4B_BINARY_RATIO
+from repro.analysis.regression import loglog_fit
+from repro.experiments import figure7
+from repro.experiments.reporting import format_table
+
+
+@dataclass(frozen=True)
+class EmacPoint:
+    model: str
+    family: str
+    emacs: float
+    latency_ms: float
+
+
+def binary_ratio_for(device: str) -> float:
+    return PIXEL1_BINARY_RATIO if device == "pixel1" else RPI4B_BINARY_RATIO
+
+
+def run(device: str = "pixel1") -> dict:
+    """eMAC/latency points, the global fit, and per-point deviations."""
+    ratio = binary_ratio_for(device)
+    points = [
+        EmacPoint(
+            model=p.model,
+            family=p.family,
+            emacs=p.fp_macs + p.binary_macs / ratio,
+            latency_ms=p.latency_ms,
+        )
+        for p in figure7.run(device)
+    ]
+    fit = loglog_fit([p.emacs for p in points], [p.latency_ms for p in points])
+    deviations = {
+        p.model: p.latency_ms / float(fit.predict(p.emacs)) for p in points
+    }
+    # Within-family correlation (families with >= 2 members).
+    families: dict[str, list[EmacPoint]] = {}
+    for p in points:
+        families.setdefault(p.family, []).append(p)
+    # A fit needs >= 2 *distinct* eMAC values (Binary AlexNet and XNOR-Net
+    # share an architecture and therefore an eMAC count).
+    family_fits = {
+        fam: loglog_fit([p.emacs for p in pts], [p.latency_ms for p in pts])
+        for fam, pts in families.items()
+        if len({p.emacs for p in pts}) >= 2
+    }
+    return {
+        "points": points,
+        "fit": fit,
+        "deviations": deviations,
+        "family_fits": family_fits,
+        "binary_ratio": ratio,
+    }
+
+
+def main(device: str = "pixel1") -> None:
+    data = run(device)
+    figure = "Figure 10" if device == "pixel1" else "Figure 15 (appendix)"
+    rows = [
+        (p.model, p.family, f"{p.emacs / 1e6:.0f}M", f"{p.latency_ms:.1f}",
+         f"{data['deviations'][p.model]:.2f}x")
+        for p in sorted(data["points"], key=lambda p: p.emacs)
+    ]
+    print(
+        format_table(
+            ["Model", "family", "eMACs", "latency ms", "vs global fit"],
+            rows,
+            title=(
+                f"{figure}: eMACs vs latency on {device} "
+                f"(1 fp MAC = {data['binary_ratio']:.0f} binary MACs); "
+                f"global fit R^2 = {data['fit'].r_squared:.3f}"
+            ),
+        )
+    )
+    print("\nWithin-family R^2 (MACs are a good proxy inside a family):")
+    for fam, fit in data["family_fits"].items():
+        print(f"  {fam:12s} R^2 = {fit.r_squared:.3f}")
+
+
+if __name__ == "__main__":
+    main()

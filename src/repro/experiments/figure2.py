@@ -1,0 +1,93 @@
+"""Figure 2 (and appendix Figure 11) — the latency impact of binarizing
+ResNet-18's four main convolutions.
+
+Convolutions, in height x width x in channels x out channels with 3x3
+kernels: A 56x56x64x64, B 28x28x128x128, C 14x14x256x256, D 7x7x256x256.
+The paper reports binary speedups of 12x (A) to over 17x (D) versus float
+and 9-12x versus int8 on the Pixel 1; 14x-20x and 6-10x on the RPi 4B.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.types import Padding
+from repro.experiments.reporting import format_table
+from repro.hw.device import DeviceModel
+from repro.hw.latency import conv_cost
+
+#: The four ResNet-18 convolutions: (label, spatial size, channels).
+RESNET18_CONVS: tuple[tuple[str, int, int], ...] = (
+    ("A", 56, 64),
+    ("B", 28, 128),
+    ("C", 14, 256),
+    ("D", 7, 256),
+)
+
+
+@dataclass(frozen=True)
+class ConvComparison:
+    """One group of bars in Figure 2."""
+
+    label: str
+    spatial: int
+    channels: int
+    float_ms: float
+    int8_ms: float
+    binary_ms: float
+
+    @property
+    def speedup_vs_float(self) -> float:
+        return self.float_ms / self.binary_ms
+
+    @property
+    def speedup_vs_int8(self) -> float:
+        return self.int8_ms / self.binary_ms
+
+
+def run(device: str = "pixel1") -> list[ConvComparison]:
+    dev = DeviceModel.by_name(device)
+    results = []
+    for label, hw, c in RESNET18_CONVS:
+        float_ms = conv_cost(
+            dev, "float32", 1, hw, hw, c, c, 3, 3, padding=Padding.SAME_ZERO
+        ).total_ms
+        int8_ms = conv_cost(
+            dev, "int8", 1, hw, hw, c, c, 3, 3, padding=Padding.SAME_ZERO
+        ).total_ms
+        binary_ms = conv_cost(
+            dev, "binary", 1, hw, hw, c, c, 3, 3, padding=Padding.SAME_ONE
+        ).total_ms
+        results.append(
+            ConvComparison(label, hw, c, float_ms, int8_ms, binary_ms)
+        )
+    return results
+
+
+def main(device: str = "pixel1") -> None:
+    results = run(device)
+    rows = [
+        (
+            r.label,
+            f"{r.spatial}x{r.spatial}x{r.channels}x{r.channels}",
+            f"{r.float_ms:.3f}",
+            f"{r.int8_ms:.3f}",
+            f"{r.binary_ms:.3f}",
+            f"{r.speedup_vs_float:.1f}x",
+            f"{r.speedup_vs_int8:.1f}x",
+        )
+        for r in results
+    ]
+    figure = "Figure 2" if device == "pixel1" else "Figure 11 (appendix)"
+    print(
+        format_table(
+            ["Conv", "Dimensions", "float ms", "int8 ms", "binary ms",
+             "vs float", "vs int8"],
+            rows,
+            title=f"{figure}: binarizing ResNet-18 convolutions on {device}",
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,98 @@
+"""Figure 3 (and appendix Figure 12) — MACs vs latency over a large sweep.
+
+Channels in {32, 64, 96, 128, 160, 256}; input width/height in
+{8, 16, 32, 64}; kernel sizes 3x3 and 5x5; stride 1, same padding, equal
+input/output channels.  The paper finds an approximately linear MACs ->
+latency relationship per precision (on log-log axes) with substantial
+deviations, especially away from large dimensions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.regression import LogLogFit, loglog_fit
+from repro.core.types import Padding
+from repro.experiments.reporting import ascii_scatter, format_table
+from repro.hw.device import DeviceModel
+from repro.hw.latency import conv_cost
+
+CHANNELS = (32, 64, 96, 128, 160, 256)
+SIZES = (8, 16, 32, 64)
+KERNELS = (3, 5)
+PRECISIONS = ("float32", "int8", "binary")
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One dot in Figure 3."""
+
+    precision: str
+    channels: int
+    size: int
+    kernel: int
+    macs: int
+    latency_ms: float
+
+
+def sweep_configs() -> list[tuple[int, int, int]]:
+    """All (channels, size, kernel) combinations of the sweep."""
+    return [(c, s, k) for c in CHANNELS for s in SIZES for k in KERNELS]
+
+
+def run(device: str = "pixel1") -> dict:
+    """Sweep points per precision plus the log-log regression fits."""
+    dev = DeviceModel.by_name(device)
+    points: dict[str, list[SweepPoint]] = {p: [] for p in PRECISIONS}
+    for c, s, k in sweep_configs():
+        macs = s * s * k * k * c * c
+        for precision in PRECISIONS:
+            padding = Padding.SAME_ONE if precision == "binary" else Padding.SAME_ZERO
+            ms = conv_cost(
+                dev, precision, 1, s, s, c, c, k, k, padding=padding
+            ).total_ms
+            points[precision].append(
+                SweepPoint(precision, c, s, k, macs, ms)
+            )
+    fits: dict[str, LogLogFit] = {
+        p: loglog_fit([pt.macs for pt in pts], [pt.latency_ms for pt in pts])
+        for p, pts in points.items()
+    }
+    return {"points": points, "fits": fits}
+
+
+def main(device: str = "pixel1") -> None:
+    data = run(device)
+    figure = "Figure 3" if device == "pixel1" else "Figure 12 (appendix)"
+    rows = []
+    for precision, fit in data["fits"].items():
+        pts = data["points"][precision]
+        rows.append(
+            (
+                precision,
+                len(pts),
+                f"{min(p.latency_ms for p in pts):.4f}",
+                f"{max(p.latency_ms for p in pts):.1f}",
+                f"{fit.slope:.2f}",
+                f"{fit.r_squared:.3f}",
+            )
+        )
+    print(
+        format_table(
+            ["Precision", "points", "min ms", "max ms", "log-log slope", "R^2"],
+            rows,
+            title=f"{figure}: MACs vs latency sweep on {device} "
+            f"(MACs {min(c*s*s*k*k*c for c,s,k in sweep_configs()):.1e}"
+            f"-{max(c*s*s*k*k*c for c,s,k in sweep_configs()):.1e})",
+        )
+    )
+    print()
+    series = {
+        precision: [(p.macs, p.latency_ms) for p in pts]
+        for precision, pts in data["points"].items()
+    }
+    print(ascii_scatter(series, x_label="MACs", y_label="latency ms"))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,76 @@
+"""Plain-text table formatting for experiment output."""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+
+def format_table(
+    headers: Sequence[str], rows: Sequence[Sequence[Any]], title: str | None = None
+) -> str:
+    """Render an aligned ASCII table."""
+    cells = [[str(h) for h in headers]] + [[_fmt(c) for c in row] for row in rows]
+    widths = [max(len(r[i]) for r in cells) for i in range(len(headers))]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(cells[0], widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in cells[1:]:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def _fmt(value: Any) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 100:
+            return f"{value:.0f}"
+        if abs(value) >= 1:
+            return f"{value:.2f}"
+        return f"{value:.4f}"
+    return str(value)
+
+
+def ascii_scatter(
+    series: dict[str, list[tuple[float, float]]],
+    width: int = 68,
+    height: int = 18,
+    log_x: bool = True,
+    log_y: bool = True,
+    x_label: str = "x",
+    y_label: str = "y",
+) -> str:
+    """Render labelled (x, y) series as an ASCII scatter plot.
+
+    Used by the figure experiments to sketch the paper's plots directly in
+    terminal output; each series gets the first letter of its name as the
+    marker.
+    """
+    import math
+
+    points = [(x, y) for pts in series.values() for x, y in pts]
+    if not points:
+        raise ValueError("nothing to plot")
+    fx = math.log10 if log_x else (lambda v: v)
+    fy = math.log10 if log_y else (lambda v: v)
+    xs = [fx(x) for x, _ in points]
+    ys = [fy(y) for _, y in points]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    x_span = (x_hi - x_lo) or 1.0
+    y_span = (y_hi - y_lo) or 1.0
+    grid = [[" "] * width for _ in range(height)]
+    for name, pts in series.items():
+        marker = name[0].upper()
+        for x, y in pts:
+            col = int((fx(x) - x_lo) / x_span * (width - 1))
+            row = height - 1 - int((fy(y) - y_lo) / y_span * (height - 1))
+            grid[row][col] = marker
+    lines = [f"{y_label} ({'log' if log_y else 'linear'} scale)"]
+    lines += ["|" + "".join(row) for row in grid]
+    lines.append("+" + "-" * width + f"> {x_label}{' (log)' if log_x else ''}")
+    legend = "   ".join(f"{name[0].upper()}={name}" for name in series)
+    lines.append(legend)
+    return "\n".join(lines)

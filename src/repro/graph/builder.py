@@ -1,0 +1,216 @@
+"""Functional graph-construction API (the Keras/Larq-analog surface).
+
+The builder produces *training graphs*: binarized convolutions appear as a
+``binarize`` op on activations plus a ``conv2d`` whose weights are flagged
+``binary_weights=True`` (latent float weights, binarized on the fly) — the
+float emulation Larq trains with.  :func:`repro.converter.convert` later
+rewrites these patterns into true LCE operators.
+
+Example::
+
+    b = GraphBuilder((1, 32, 32, 64))
+    x = b.binarize(b.input)
+    x = b.conv2d(x, weights, padding=Padding.SAME_ONE, binary_weights=True)
+    x = b.batch_norm(x, bn_params)
+    graph = b.finish(x)
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+import numpy as np
+
+from repro.core.types import Activation, Padding
+from repro.graph import shapes
+from repro.graph.ir import Graph, TensorSpec
+from repro.kernels.batchnorm import BatchNormParams
+
+
+class GraphBuilder:
+    """Builds a verified :class:`~repro.graph.ir.Graph` op by op."""
+
+    def __init__(
+        self,
+        input_shape: Sequence[int],
+        name: str = "model",
+        input_dtype: str = "float32",
+    ) -> None:
+        self.graph = Graph(name=name)
+        self.input = self.graph.add_input(
+            "input", TensorSpec(tuple(input_shape), input_dtype)
+        )
+
+    # ------------------------------------------------------------- plumbing
+    def _emit(
+        self,
+        op: str,
+        inputs: list[str],
+        attrs: dict[str, Any] | None = None,
+        params: dict[str, Any] | None = None,
+        name: str | None = None,
+    ) -> str:
+        attrs = attrs or {}
+        params = params or {}
+        input_specs = [self.graph.tensors[t] for t in inputs]
+        output_specs = shapes.infer_output_specs(op, input_specs, attrs, params)
+        node = self.graph.add_node(
+            op, inputs, output_specs, attrs=attrs, params=params, name=name
+        )
+        return node.outputs[0]
+
+    def spec(self, tensor: str) -> TensorSpec:
+        return self.graph.tensors[tensor]
+
+    # ------------------------------------------------------------------ ops
+    def binarize(self, x: str, name: str | None = None) -> str:
+        """Training-time sign binarization of activations (STE forward)."""
+        return self._emit("binarize", [x], name=name)
+
+    def conv2d(
+        self,
+        x: str,
+        weights: np.ndarray,
+        bias: np.ndarray | None = None,
+        stride: int = 1,
+        dilation: int = 1,
+        padding: Padding = Padding.SAME_ZERO,
+        activation: Activation = Activation.NONE,
+        binary_weights: bool = False,
+        name: str | None = None,
+    ) -> str:
+        params: dict[str, Any] = {"weights": np.asarray(weights, np.float32)}
+        if bias is not None:
+            params["bias"] = np.asarray(bias, np.float32)
+        return self._emit(
+            "conv2d",
+            [x],
+            attrs={
+                "stride": stride,
+                "dilation": dilation,
+                "padding": padding,
+                "activation": activation,
+                "binary_weights": bool(binary_weights),
+            },
+            params=params,
+            name=name,
+        )
+
+    def depthwise_conv2d(
+        self,
+        x: str,
+        weights: np.ndarray,
+        bias: np.ndarray | None = None,
+        stride: int = 1,
+        dilation: int = 1,
+        padding: Padding = Padding.SAME_ZERO,
+        activation: Activation = Activation.NONE,
+        name: str | None = None,
+    ) -> str:
+        params: dict[str, Any] = {"weights": np.asarray(weights, np.float32)}
+        if bias is not None:
+            params["bias"] = np.asarray(bias, np.float32)
+        return self._emit(
+            "depthwise_conv2d",
+            [x],
+            attrs={
+                "stride": stride,
+                "dilation": dilation,
+                "padding": padding,
+                "activation": activation,
+            },
+            params=params,
+            name=name,
+        )
+
+    def dense(
+        self,
+        x: str,
+        weights: np.ndarray,
+        bias: np.ndarray | None = None,
+        activation: Activation = Activation.NONE,
+        name: str | None = None,
+    ) -> str:
+        params: dict[str, Any] = {"weights": np.asarray(weights, np.float32)}
+        if bias is not None:
+            params["bias"] = np.asarray(bias, np.float32)
+        return self._emit(
+            "dense", [x], attrs={"activation": activation}, params=params, name=name
+        )
+
+    def batch_norm(self, x: str, bn: BatchNormParams, name: str | None = None) -> str:
+        return self._emit("batch_norm", [x], params={"bn": bn}, name=name)
+
+    def relu(self, x: str, name: str | None = None) -> str:
+        return self._emit("relu", [x], name=name)
+
+    def relu6(self, x: str, name: str | None = None) -> str:
+        return self._emit("relu6", [x], name=name)
+
+    def softmax(self, x: str, name: str | None = None) -> str:
+        return self._emit("softmax", [x], name=name)
+
+    def sigmoid(self, x: str, name: str | None = None) -> str:
+        return self._emit("sigmoid", [x], name=name)
+
+    def add(self, a: str, b: str, name: str | None = None) -> str:
+        return self._emit("add", [a, b], name=name)
+
+    def mul(self, a: str, b: str, name: str | None = None) -> str:
+        return self._emit("mul", [a, b], name=name)
+
+    def concat(self, tensors: list[str], axis: int = -1, name: str | None = None) -> str:
+        return self._emit("concat", tensors, attrs={"axis": axis}, name=name)
+
+    def pad_channels(
+        self, x: str, before: int = 0, after: int = 0, name: str | None = None
+    ) -> str:
+        """Zero-pad the channel axis (parameter-free channel placement)."""
+        return self._emit(
+            "pad_channels", [x], attrs={"before": before, "after": after}, name=name
+        )
+
+    def reshape(self, x: str, shape: Sequence[int], name: str | None = None) -> str:
+        return self._emit("reshape", [x], attrs={"shape": tuple(shape)}, name=name)
+
+    def maxpool2d(
+        self,
+        x: str,
+        pool_h: int,
+        pool_w: int,
+        stride: int | None = None,
+        padding: Padding = Padding.VALID,
+        name: str | None = None,
+    ) -> str:
+        return self._emit(
+            "maxpool2d",
+            [x],
+            attrs={"pool_h": pool_h, "pool_w": pool_w, "stride": stride, "padding": padding},
+            name=name,
+        )
+
+    def avgpool2d(
+        self,
+        x: str,
+        pool_h: int,
+        pool_w: int,
+        stride: int | None = None,
+        padding: Padding = Padding.VALID,
+        name: str | None = None,
+    ) -> str:
+        return self._emit(
+            "avgpool2d",
+            [x],
+            attrs={"pool_h": pool_h, "pool_w": pool_w, "stride": stride, "padding": padding},
+            name=name,
+        )
+
+    def global_avgpool(self, x: str, name: str | None = None) -> str:
+        return self._emit("global_avgpool", [x], name=name)
+
+    # ---------------------------------------------------------- finalization
+    def finish(self, *outputs: str) -> Graph:
+        """Set graph outputs, verify, and return the graph."""
+        self.graph.outputs = list(outputs)
+        self.graph.verify()
+        return self.graph

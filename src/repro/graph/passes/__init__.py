@@ -1,0 +1,31 @@
+"""Converter passes: training graph -> optimized LCE inference graph.
+
+Each module implements one graph transformation from Section 3.1 of the
+paper.  All passes share the same signature — ``pass_fn(graph) -> bool`` —
+returning whether anything changed, so the
+:class:`~repro.graph.passes.pass_manager.PassManager` can run pipelines to
+a fixpoint.
+"""
+
+from repro.graph.passes.binarize_convs import binarize_convs
+from repro.graph.passes.bitpacked_chain import bitpacked_chain
+from repro.graph.passes.bmaxpool_swap import bmaxpool_swap
+from repro.graph.passes.canonicalize import canonicalize
+from repro.graph.passes.dce import dce
+from repro.graph.passes.dedupe_quantize import dedupe_quantize
+from repro.graph.passes.fuse_activation import fuse_activation
+from repro.graph.passes.fuse_batchnorm import fuse_batchnorm
+from repro.graph.passes.pass_manager import PassManager, default_pipeline
+
+__all__ = [
+    "PassManager",
+    "binarize_convs",
+    "bitpacked_chain",
+    "bmaxpool_swap",
+    "canonicalize",
+    "dce",
+    "dedupe_quantize",
+    "default_pipeline",
+    "fuse_activation",
+    "fuse_batchnorm",
+]

@@ -1,0 +1,54 @@
+"""Write bitpacked output directly between back-to-back binarized convs.
+
+The advanced optimization of paper Section 3.1: when an ``LceBConv2d``'s
+float output is consumed *only* by an ``LceQuantize`` (no residual
+shortcut, not a graph output), no full-precision value needs to be
+materialized at all.  The converter precomputes per-channel thresholds
+capturing the complete fused transform (multiplier, bias, activation,
+order) and the convolution thresholds its accumulators straight into sign
+bits.  The ``LceQuantize`` disappears.
+
+The zero-padding correction, when present, is applied to the accumulators
+*before* the output transform, so precomputed thresholds remain exact.
+"""
+
+from __future__ import annotations
+
+from repro.core.output_transform import compute_output_thresholds
+from repro.core.types import Activation
+from repro.graph.ir import Graph, TensorSpec
+from repro.graph.passes.common import sole_consumer
+
+
+def bitpacked_chain(graph: Graph) -> bool:
+    changed = False
+    for node in list(graph.nodes):
+        if node.op != "lce_bconv2d" or node.attr("output_type") != "float":
+            continue
+        consumer = sole_consumer(graph, node.outputs[0])
+        if consumer is None or consumer.op != "lce_quantize":
+            continue
+        depth = (
+            int(node.attrs["kernel_h"])
+            * int(node.attrs["kernel_w"])
+            * int(node.attrs["in_channels"])
+        )
+        thresholds = compute_output_thresholds(
+            depth,
+            int(node.attrs["out_channels"]),
+            multiplier=node.params.get("multiplier"),
+            bias=node.params.get("bias"),
+            activation=Activation(node.attr("activation", Activation.NONE)),
+            scale_before_activation=bool(node.attr("scale_before_activation", True)),
+        )
+        node.attrs["output_type"] = "bitpacked"
+        node.params.pop("multiplier", None)
+        node.params.pop("bias", None)
+        node.params["threshold"] = thresholds.threshold
+        node.params["threshold_flip"] = thresholds.flip
+        out = node.outputs[0]
+        graph.tensors[out] = TensorSpec(graph.tensors[out].shape, "bitpacked")
+        graph.replace_uses(consumer.outputs[0], out)
+        graph.remove_node(consumer)
+        changed = True
+    return changed

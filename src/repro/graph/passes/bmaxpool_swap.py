@@ -1,0 +1,44 @@
+"""Swap MaxPool and binarization: ``max(sign(X)) == sign(max(X))``.
+
+A full-precision MaxPool whose only consumer is an ``LceQuantize`` can run
+*after* the binarization instead, on bitpacked data, as the cheap
+bitwise-AND ``LceBMaxPool2d`` (paper Section 3.2).  This both shrinks the
+tensor the pool reads 32x and removes float comparisons.
+"""
+
+from __future__ import annotations
+
+from repro.graph.ir import Graph, TensorSpec
+from repro.graph.passes.common import sole_consumer
+
+
+def bmaxpool_swap(graph: Graph) -> bool:
+    changed = False
+    for node in list(graph.nodes):
+        if node.op != "maxpool2d":
+            continue
+        consumer = sole_consumer(graph, node.outputs[0])
+        if consumer is None or consumer.op != "lce_quantize":
+            continue
+        source = node.inputs[0]
+        in_spec = graph.tensors[source]
+        pool_out_spec = graph.tensors[node.outputs[0]]
+        index = graph.nodes.index(node)
+        quantize = graph.insert_node(
+            index,
+            "lce_quantize",
+            [source],
+            [TensorSpec(in_spec.shape, "bitpacked")],
+        )
+        bpool = graph.insert_node(
+            index + 1,
+            "lce_bmaxpool2d",
+            [quantize.outputs[0]],
+            [TensorSpec(pool_out_spec.shape, "bitpacked")],
+            attrs=dict(node.attrs),
+        )
+        graph.replace_uses(consumer.outputs[0], bpool.outputs[0])
+        graph.remove_node(consumer)
+        graph.remove_node(node)
+        changed = True
+    return changed

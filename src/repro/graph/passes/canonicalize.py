@@ -1,0 +1,22 @@
+"""Canonicalization: strip no-op nodes so later patterns match cleanly."""
+
+from __future__ import annotations
+
+from repro.graph.ir import Graph
+from repro.graph.passes.common import bypass_node
+
+
+def canonicalize(graph: Graph) -> bool:
+    """Remove ``identity`` nodes and reshapes that don't change the shape."""
+    changed = False
+    for node in list(graph.nodes):
+        if node.op == "identity":
+            bypass_node(graph, node)
+            changed = True
+        elif node.op == "reshape":
+            in_spec = graph.tensors[node.inputs[0]]
+            out_spec = graph.tensors[node.outputs[0]]
+            if in_spec.shape == out_spec.shape:
+                bypass_node(graph, node)
+                changed = True
+    return changed

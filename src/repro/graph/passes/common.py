@@ -1,0 +1,28 @@
+"""Shared pattern-matching helpers for converter passes."""
+
+from __future__ import annotations
+
+from repro.graph.ir import Graph, Node
+
+
+def sole_consumer(graph: Graph, tensor: str) -> Node | None:
+    """The single node consuming ``tensor``, or None.
+
+    Returns None when the tensor has zero or multiple consumers, or when it
+    is also a graph output (in which case its value must stay materialized
+    and cannot be fused away).
+    """
+    if graph.is_output(tensor):
+        return None
+    consumers = graph.consumers(tensor)
+    if len(consumers) != 1:
+        return None
+    return consumers[0]
+
+
+def bypass_node(graph: Graph, node: Node) -> None:
+    """Replace a single-input single-output node with its input and drop it."""
+    if len(node.inputs) != 1 or len(node.outputs) != 1:
+        raise ValueError(f"cannot bypass {node.op} node {node.name!r}")
+    graph.replace_uses(node.outputs[0], node.inputs[0])
+    graph.remove_node(node)

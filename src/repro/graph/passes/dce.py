@@ -1,0 +1,18 @@
+"""Dead-code elimination: drop nodes whose outputs are never used."""
+
+from __future__ import annotations
+
+from repro.graph.ir import Graph
+
+
+def dce(graph: Graph) -> bool:
+    """Remove dead nodes (reverse sweep so chains die in one pass)."""
+    changed = False
+    for node in reversed(list(graph.nodes)):
+        dead = all(
+            not graph.consumers(t) and not graph.is_output(t) for t in node.outputs
+        )
+        if dead:
+            graph.remove_node(node)
+            changed = True
+    return changed

@@ -1,0 +1,26 @@
+"""Merge duplicate ``LceQuantize`` nodes reading the same tensor.
+
+When one activation feeds several binarized convolutions (DenseNet-style
+fan-out), per-conv conversion creates one quantize each; a single bitpacked
+tensor serves all consumers.
+"""
+
+from __future__ import annotations
+
+from repro.graph.ir import Graph
+
+
+def dedupe_quantize(graph: Graph) -> bool:
+    changed = False
+    first_for_source: dict[str, str] = {}
+    for node in list(graph.nodes):
+        if node.op != "lce_quantize":
+            continue
+        source = node.inputs[0]
+        if source not in first_for_source:
+            first_for_source[source] = node.outputs[0]
+            continue
+        graph.replace_uses(node.outputs[0], first_for_source[source])
+        graph.remove_node(node)
+        changed = True
+    return changed

@@ -1,0 +1,42 @@
+"""Fuse threshold-based activation functions into the preceding op.
+
+A ``relu``/``relu6`` whose sole input is a convolution, dense layer or
+``LceBConv2d`` with no activation yet becomes that op's fused activation
+attribute; the standalone node disappears.  For ``LceBConv2d`` the fused
+activation is applied directly on the BGEMM accumulators (paper Section
+3.2), avoiding an extra pass over the output.
+"""
+
+from __future__ import annotations
+
+from repro.core.types import Activation
+from repro.graph.ir import Graph
+from repro.graph.passes.common import bypass_node, sole_consumer
+
+_FUSABLE_PRODUCERS = ("conv2d", "depthwise_conv2d", "dense", "lce_bconv2d")
+_ACTIVATIONS = {"relu": Activation.RELU, "relu6": Activation.RELU6}
+
+
+def fuse_activation(graph: Graph) -> bool:
+    changed = False
+    for node in list(graph.nodes):
+        if node.op not in _FUSABLE_PRODUCERS:
+            continue
+        if Activation(node.attr("activation", Activation.NONE)) is not Activation.NONE:
+            continue
+        consumer = sole_consumer(graph, node.outputs[0])
+        if consumer is None or consumer.op not in _ACTIVATIONS:
+            continue
+        if node.op == "lce_bconv2d":
+            if node.attr("output_type") != "float":
+                continue
+            if not node.attr("scale_before_activation", True):
+                continue  # an earlier fusion already placed a scale after an act
+        node.attrs["activation"] = _ACTIVATIONS[consumer.op]
+        if node.op == "lce_bconv2d":
+            # With the activation fused last, the transform reads
+            # act(multiplier * acc + bias): scale happens first.
+            node.attrs["scale_before_activation"] = True
+        bypass_node(graph, consumer)
+        changed = True
+    return changed

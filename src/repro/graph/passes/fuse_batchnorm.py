@@ -1,0 +1,103 @@
+"""Fuse batch normalization into the preceding operator.
+
+For full-precision convolutions and dense layers, the per-channel
+multiplier folds directly into the weights — "for free" (paper Section
+3.2).  For ``LceBConv2d`` the binary weights cannot absorb a multiplier, so
+the BN becomes the op's two extra per-channel inputs (multiplier and bias)
+applied on the accumulators in the fused output transformation.
+
+Both real-world layer orders compose correctly:
+
+- ``bconv -> BN`` with nothing fused yet, or with an existing affine:
+  multipliers compose (``m' = m2*m``, ``b' = m2*b + b2``).
+- ``bconv(+fused act) -> BN`` (QuickNet's conv -> ReLU -> BN): the BN lands
+  *after* the activation, recorded as ``scale_before_activation=False``.
+  This only works when no affine was fused before the activation; otherwise
+  the transform is not representable and the BN is left standalone.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.types import Activation
+from repro.graph.ir import Graph, Node
+from repro.graph.passes.common import bypass_node
+from repro.kernels.batchnorm import fold_into_conv, fold_to_multiplier_bias
+
+
+def _producer_if_sole(graph: Graph, node: Node) -> Node | None:
+    source = node.inputs[0]
+    if graph.is_output(source):
+        return None
+    if len(graph.consumers(source)) != 1:
+        return None
+    return graph.producer(source)
+
+
+def _fuse_into_float_op(graph: Graph, bn_node: Node, producer: Node) -> bool:
+    if Activation(producer.attr("activation", Activation.NONE)) is not Activation.NONE:
+        return False  # cannot fold an affine through a nonlinearity
+    bn = bn_node.params["bn"]
+    weights = producer.params["weights"]
+    if producer.op == "dense":
+        multiplier, bias = fold_to_multiplier_bias(bn)
+        producer.params["weights"] = (weights * multiplier).astype(np.float32)
+        old_bias = producer.params.get("bias")
+        base = np.zeros(weights.shape[-1], np.float32) if old_bias is None else old_bias
+        producer.params["bias"] = (base * multiplier + bias).astype(np.float32)
+    elif producer.op == "depthwise_conv2d":
+        multiplier, bias = fold_to_multiplier_bias(bn)
+        producer.params["weights"] = (weights * multiplier).astype(np.float32)
+        old_bias = producer.params.get("bias")
+        base = np.zeros(weights.shape[-1], np.float32) if old_bias is None else old_bias
+        producer.params["bias"] = (base * multiplier + bias).astype(np.float32)
+    else:  # conv2d
+        new_w, new_b = fold_into_conv(weights, producer.params.get("bias"), bn)
+        producer.params["weights"] = new_w
+        producer.params["bias"] = new_b
+    bypass_node(graph, bn_node)
+    return True
+
+
+def _fuse_into_bconv(graph: Graph, bn_node: Node, producer: Node) -> bool:
+    if producer.attr("output_type") != "float":
+        return False
+    m2, b2 = fold_to_multiplier_bias(bn_node.params["bn"])
+    activation = Activation(producer.attr("activation", Activation.NONE))
+    m1 = producer.params.get("multiplier")
+    b1 = producer.params.get("bias")
+    if activation is Activation.NONE:
+        # Affine-after-affine composes regardless of order flags.
+        channels = int(producer.attrs["out_channels"])
+        m1 = np.ones(channels, np.float32) if m1 is None else np.asarray(m1, np.float32)
+        b1 = np.zeros(channels, np.float32) if b1 is None else np.asarray(b1, np.float32)
+        producer.params["multiplier"] = (m2 * m1).astype(np.float32)
+        producer.params["bias"] = (m2 * b1 + b2).astype(np.float32)
+        producer.attrs["scale_before_activation"] = True
+    else:
+        if m1 is not None or b1 is not None:
+            return False  # act(m*acc+b) followed by affine is not representable
+        # conv -> act -> BN: record the affine as happening after the act.
+        producer.params["multiplier"] = m2.astype(np.float32)
+        producer.params["bias"] = b2.astype(np.float32)
+        producer.attrs["scale_before_activation"] = False
+    bypass_node(graph, bn_node)
+    return True
+
+
+def fuse_batchnorm(graph: Graph) -> bool:
+    changed = False
+    for node in list(graph.nodes):
+        if node.op != "batch_norm":
+            continue
+        producer = _producer_if_sole(graph, node)
+        if producer is None:
+            continue
+        if producer.op in ("conv2d", "depthwise_conv2d", "dense"):
+            if producer.op == "conv2d" and producer.attr("binary_weights"):
+                continue  # latent binary weights cannot absorb a multiplier
+            changed |= _fuse_into_float_op(graph, node, producer)
+        elif producer.op == "lce_bconv2d":
+            changed |= _fuse_into_bconv(graph, node, producer)
+    return changed

@@ -1,0 +1,75 @@
+"""Pass pipeline driver."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.graph.ir import Graph
+
+PassFn = Callable[[Graph], bool]
+
+
+@dataclass
+class PassManager:
+    """Runs a sequence of passes, optionally to a fixpoint.
+
+    Mirrors the MLIR pass-manager role in the paper's converter: the graph
+    is re-verified after every pass, so an invalid rewrite fails loudly at
+    the pass that introduced it.
+    """
+
+    passes: list[tuple[str, PassFn]] = field(default_factory=list)
+    max_iterations: int = 10
+
+    def add(self, name: str, fn: PassFn) -> "PassManager":
+        self.passes.append((name, fn))
+        return self
+
+    def run(self, graph: Graph) -> dict[str, int]:
+        """Run the pipeline until no pass changes the graph.
+
+        Returns a histogram: how many iterations each pass reported changes.
+        """
+        changed_counts = {name: 0 for name, _ in self.passes}
+        for _ in range(self.max_iterations):
+            any_change = False
+            for name, fn in self.passes:
+                if fn(graph):
+                    graph.verify()
+                    changed_counts[name] += 1
+                    any_change = True
+            if not any_change:
+                return changed_counts
+        raise RuntimeError(
+            f"pass pipeline did not converge in {self.max_iterations} iterations"
+        )
+
+
+def default_pipeline() -> PassManager:
+    """The standard training-graph -> inference-graph pipeline.
+
+    Order matters: binarized convolutions must exist before the fusion
+    passes can target them, and the bitpacked-chain optimization must run
+    after all multiplier/bias/activation fusion so its thresholds capture
+    the complete output transform.
+    """
+    from repro.graph.passes.binarize_convs import binarize_convs
+    from repro.graph.passes.bitpacked_chain import bitpacked_chain
+    from repro.graph.passes.bmaxpool_swap import bmaxpool_swap
+    from repro.graph.passes.canonicalize import canonicalize
+    from repro.graph.passes.dce import dce
+    from repro.graph.passes.dedupe_quantize import dedupe_quantize
+    from repro.graph.passes.fuse_activation import fuse_activation
+    from repro.graph.passes.fuse_batchnorm import fuse_batchnorm
+
+    pm = PassManager()
+    pm.add("canonicalize", canonicalize)
+    pm.add("binarize_convs", binarize_convs)
+    pm.add("fuse_activation", fuse_activation)
+    pm.add("fuse_batchnorm", fuse_batchnorm)
+    pm.add("bmaxpool_swap", bmaxpool_swap)
+    pm.add("dedupe_quantize", dedupe_quantize)
+    pm.add("bitpacked_chain", bitpacked_chain)
+    pm.add("dce", dce)
+    return pm

@@ -1,0 +1,48 @@
+"""Analytical latency model of ARMv8-A devices and BNN inference engines.
+
+The paper measures on a Pixel 1 phone and a Raspberry Pi 4B; neither the
+hardware nor the hand-tuned NEON kernels can run here, so this subpackage
+substitutes an analytical model:
+
+- :mod:`repro.hw.isa` — the instruction-level analysis of paper Table 1:
+  Neon MAC sequences for float/int8/binary and their theoretical
+  throughput (8 / 32 / ~78.77 MACs per cycle).
+- :mod:`repro.hw.device` — calibrated device profiles (``pixel1``,
+  ``rpi4b``): frequency, cache sizes, sustained kernel throughputs,
+  memory bandwidths and per-op overheads.
+- :mod:`repro.hw.latency` — per-op and per-graph latency estimation with a
+  cost breakdown (im2col, accumulation loop, output transformation, ...).
+- :mod:`repro.hw.frameworks` — models of competing engines (DaBNN, TVM/
+  Riptide, TFLite) for the Figure 4 comparison.
+
+Calibration: the free parameters in the device profiles are set once from
+the paper's anchor points (Figure 2 speedups, Table 2/5 ranges, Table 4
+operator shares) and then held fixed for every experiment.
+"""
+
+from repro.hw.device import DeviceModel
+from repro.hw.frameworks import FRAMEWORKS, FrameworkModel
+from repro.hw.isa import (
+    BINARY_MACS_PER_CYCLE,
+    FLOAT_MACS_PER_CYCLE,
+    INT8_MACS_PER_CYCLE,
+    mac_instruction_table,
+)
+from repro.hw.latency import LatencyBreakdown, graph_latency, node_latency
+from repro.hw.roofline import RooflinePoint, conv_roofline, intensity_advantage
+
+__all__ = [
+    "BINARY_MACS_PER_CYCLE",
+    "DeviceModel",
+    "FLOAT_MACS_PER_CYCLE",
+    "FRAMEWORKS",
+    "FrameworkModel",
+    "INT8_MACS_PER_CYCLE",
+    "LatencyBreakdown",
+    "RooflinePoint",
+    "conv_roofline",
+    "graph_latency",
+    "intensity_advantage",
+    "mac_instruction_table",
+    "node_latency",
+]

@@ -1,0 +1,158 @@
+"""Calibrated device profiles for the latency model.
+
+A :class:`DeviceModel` captures everything the per-op cost functions in
+:mod:`repro.hw.latency` need: clock frequency, cache capacity, sustained
+kernel throughputs per precision, memory bandwidth, and the bandwidth-like
+rates of the non-GEMM stages (im2col, bitpacking, output transforms,
+elementwise ops).
+
+Sustained MAC throughputs are the *achieved* rates of real kernels — the
+theoretical peaks of :mod:`repro.hw.isa` scaled by an attainable kernel
+efficiency (register-blocking overheads, load latency, loop tails).  The
+profiles below are calibrated once against the paper's anchor points:
+
+- ``pixel1``: Figure 2 (12-17x binary-vs-float on the ResNet18 convs) and
+  Table 2 (mean 15.0x / 10.8x, ranges 8.5-18.5x / 6.1-13.4x);
+- ``rpi4b``: Figure 11 and Table 5 (mean 17.5x / 8.3x, ranges 8.8-23.0x /
+  5.1-9.6x) plus the Table 4 QuickNet operator shares.
+
+They are then held fixed for every experiment — the model-level results
+(Figures 5, 7, 8, 10 and Tables 3, 4) are predictions, not fits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+Precision = str  # "float32" | "int8" | "binary"
+
+
+@dataclass(frozen=True)
+class DeviceModel:
+    """An ARMv8-A CPU core with calibrated kernel throughputs."""
+
+    name: str
+    freq_hz: float
+    l2_bytes: int
+    #: usable fraction of L2 before a GEMM's weight panel starts thrashing
+    l2_usable_fraction: float
+    #: DRAM streaming bandwidth, bytes per core cycle
+    dram_bytes_per_cycle: float
+    #: sustained MACs/cycle per precision for large, cache-friendly GEMMs
+    sustained_macs_per_cycle: dict[Precision, float]
+    #: throughput multiplier when the weight working set spills L2
+    spill_penalty: dict[Precision, float]
+    #: binary rows pay a fixed per-row reduction prologue, expressed as
+    #: equivalent extra packed words of depth
+    binary_row_overhead_words: float
+    #: BGEMM throughput multiplier when the bitpacked im2col buffer
+    #: exceeds ~2x L2 and patch streaming starts thrashing the cache
+    binary_patch_spill_penalty: float
+    #: float/int8 GEMMs pay a per-row tail, as equivalent extra depth elems
+    gemm_row_overhead_elems: float
+    #: GEMM efficiency multiplier for image-stem convolutions (<= 4 input
+    #: channels): im2col with 3-channel depth packs registers poorly
+    stem_channel_penalty: float
+    #: fixed per-op dispatch overhead, seconds
+    op_overhead_s: float
+    #: im2col copy rate (bytes of patch matrix written per cycle)
+    im2col_bytes_per_cycle: float
+    #: LceQuantize rate (input float bytes consumed per cycle)
+    pack_bytes_per_cycle: float
+    #: float output transformation rate (elements per cycle)
+    transform_elems_per_cycle: float
+    #: thresholded bitpacked output rate (elements per cycle)
+    threshold_elems_per_cycle: float
+    #: elementwise float ops (add/mul/bn/relu): bytes touched per cycle
+    eltwise_bytes_per_cycle: float
+    #: pooling rate, window elements per cycle
+    pool_elems_per_cycle: float
+    #: int8 requantization rate, elements per cycle
+    requant_elems_per_cycle: float
+
+    # ------------------------------------------------------------- helpers
+    def cycles_to_seconds(self, cycles: float) -> float:
+        return cycles / self.freq_hz
+
+    def weights_fit_l2(self, weight_bytes: float) -> bool:
+        return weight_bytes <= self.l2_usable_fraction * self.l2_bytes
+
+    def sustained(self, precision: Precision, weight_bytes: float) -> float:
+        """Achieved MACs/cycle given the weight working set."""
+        base = self.sustained_macs_per_cycle[precision]
+        if not self.weights_fit_l2(weight_bytes):
+            base *= self.spill_penalty[precision]
+        return base
+
+    def with_overrides(self, **kwargs) -> "DeviceModel":
+        """A copy with some fields replaced (used by framework models)."""
+        return replace(self, **kwargs)
+
+    # ------------------------------------------------------------ profiles
+    @classmethod
+    def pixel1(cls) -> "DeviceModel":
+        """Google Pixel 1 (Snapdragon 821, Kryo big core @ 2.15 GHz).
+
+        The Kryo core predates the ARMv8.2 dot-product extension, so int8
+        GEMMs use widening multiply-accumulate sequences and land much
+        closer to float throughput than Table 1's Cortex-A76 peak would
+        suggest — visible in the paper's modest int8-vs-float gap.
+        """
+        return cls(
+            name="pixel1",
+            freq_hz=2.15e9,
+            l2_bytes=1 * 1024 * 1024,
+            l2_usable_fraction=0.75,
+            dram_bytes_per_cycle=6.0,
+            sustained_macs_per_cycle={"float32": 4.6, "int8": 5.8, "binary": 72.0},
+            spill_penalty={"float32": 0.84, "int8": 0.88, "binary": 0.98},
+            binary_row_overhead_words=2.0,
+            binary_patch_spill_penalty=0.65,
+            gemm_row_overhead_elems=8.0,
+            stem_channel_penalty=0.45,
+            op_overhead_s=2.5e-6,
+            im2col_bytes_per_cycle=8.0,
+            pack_bytes_per_cycle=8.0,
+            transform_elems_per_cycle=2.0,
+            threshold_elems_per_cycle=8.0,
+            eltwise_bytes_per_cycle=4.0,
+            pool_elems_per_cycle=2.0,
+            requant_elems_per_cycle=2.0,
+        )
+
+    @classmethod
+    def rpi4b(cls) -> "DeviceModel":
+        """Raspberry Pi 4 Model B (Cortex-A72 @ 1.5 GHz, 64-bit OS).
+
+        The A72's weaker float pipes push binary-vs-float speedups higher
+        than the Pixel 1 (up to ~23x), while its int8 path is relatively
+        stronger, compressing binary-vs-int8 to 5-10x (paper Table 5).
+        """
+        return cls(
+            name="rpi4b",
+            freq_hz=1.5e9,
+            l2_bytes=1 * 1024 * 1024,
+            l2_usable_fraction=0.75,
+            dram_bytes_per_cycle=4.0,
+            sustained_macs_per_cycle={"float32": 3.5, "int8": 6.8, "binary": 62.0},
+            spill_penalty={"float32": 0.78, "int8": 0.88, "binary": 0.98},
+            binary_row_overhead_words=2.0,
+            binary_patch_spill_penalty=0.55,
+            gemm_row_overhead_elems=8.0,
+            stem_channel_penalty=0.45,
+            op_overhead_s=4e-6,
+            im2col_bytes_per_cycle=6.0,
+            pack_bytes_per_cycle=3.0,
+            transform_elems_per_cycle=0.8,
+            threshold_elems_per_cycle=6.0,
+            eltwise_bytes_per_cycle=3.0,
+            pool_elems_per_cycle=1.0,
+            requant_elems_per_cycle=1.5,
+        )
+
+    @classmethod
+    def by_name(cls, name: str) -> "DeviceModel":
+        try:
+            return {"pixel1": cls.pixel1, "rpi4b": cls.rpi4b}[name]()
+        except KeyError:
+            raise ValueError(f"unknown device {name!r}") from None

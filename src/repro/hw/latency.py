@@ -1,0 +1,399 @@
+"""Per-op and per-graph latency estimation.
+
+Costs follow a roofline structure: the GEMM-shaped ops take
+``max(compute cycles, memory-traffic cycles)`` plus explicit im2col and
+output-transformation stages (the stages of ``LceBConv2d`` in the paper's
+Section 3.2); everything else is bandwidth-like.  All rates come from the
+:class:`~repro.hw.device.DeviceModel` profile.
+
+Each estimate returns a :class:`LatencyBreakdown`, so experiments can split
+a convolution into its accumulation loop and output transformation — the
+subdivision paper Table 4 reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.im2col import conv_geometry
+from repro.core.types import Padding
+from repro.graph.ir import Graph, Node, TensorSpec
+from repro.hw.device import DeviceModel
+
+_BYTES = {"float32": 4.0, "int8": 1.0, "int32": 4.0}
+
+#: depthwise convolutions vectorize poorly relative to dense GEMMs
+_DEPTHWISE_EFFICIENCY = 0.6
+#: softmax-ish transcendental ops, elements per cycle
+_EXP_ELEMS_PER_CYCLE = 0.25
+#: bitwise-AND pooling processes packed words ~4x faster than float pooling
+_BPOOL_WORD_SPEEDUP = 4.0
+#: parallel efficiency of compute-bound GEMM stages per extra thread (Ruy)
+_GEMM_PARALLEL_EFFICIENCY = 0.85
+#: bandwidth-bound stages saturate shared DRAM and scale worse
+_BANDWIDTH_PARALLEL_EFFICIENCY = 0.45
+
+
+def _words(channels: int) -> int:
+    return -(-channels // 64)
+
+
+@dataclass(frozen=True)
+class LatencyBreakdown:
+    """Seconds spent in each stage of one op."""
+
+    overhead_s: float = 0.0
+    im2col_s: float = 0.0
+    accumulation_s: float = 0.0
+    transform_s: float = 0.0
+    other_s: float = 0.0
+    memory_bound: bool = False
+
+    @property
+    def total_s(self) -> float:
+        return (
+            self.overhead_s
+            + self.im2col_s
+            + self.accumulation_s
+            + self.transform_s
+            + self.other_s
+        )
+
+    @property
+    def total_ms(self) -> float:
+        return self.total_s * 1e3
+
+    def __add__(self, other: "LatencyBreakdown") -> "LatencyBreakdown":
+        return LatencyBreakdown(
+            overhead_s=self.overhead_s + other.overhead_s,
+            im2col_s=self.im2col_s + other.im2col_s,
+            accumulation_s=self.accumulation_s + other.accumulation_s,
+            transform_s=self.transform_s + other.transform_s,
+            other_s=self.other_s + other.other_s,
+            memory_bound=self.memory_bound or other.memory_bound,
+        )
+
+    def with_threads(self, threads: int) -> "LatencyBreakdown":
+        """Multi-threaded execution of this op (paper: LCE inherits Ruy's
+        multi-threading; DaBNN has none).
+
+        Compute-bound stages (GEMM accumulation, im2col, transforms) scale
+        with near-linear efficiency; memory-bound work saturates the shared
+        DRAM interface and scales poorly; per-op dispatch stays serial.
+        """
+        if threads <= 0:
+            raise ValueError(f"threads must be positive, got {threads}")
+        if threads == 1:
+            return self
+        eff = (
+            _BANDWIDTH_PARALLEL_EFFICIENCY
+            if self.memory_bound
+            else _GEMM_PARALLEL_EFFICIENCY
+        )
+        speedup = 1.0 + (threads - 1) * eff
+        bw_speedup = 1.0 + (threads - 1) * _BANDWIDTH_PARALLEL_EFFICIENCY
+        return LatencyBreakdown(
+            overhead_s=self.overhead_s,
+            im2col_s=self.im2col_s / bw_speedup,
+            accumulation_s=self.accumulation_s / speedup,
+            transform_s=self.transform_s / speedup,
+            other_s=self.other_s / bw_speedup,
+            memory_bound=self.memory_bound,
+        )
+
+
+# ------------------------------------------------------------- convolutions
+def conv_cost(
+    device: DeviceModel,
+    precision: str,
+    batch: int,
+    in_h: int,
+    in_w: int,
+    in_channels: int,
+    out_channels: int,
+    kernel_h: int,
+    kernel_w: int,
+    stride: int = 1,
+    dilation: int = 1,
+    padding: Padding = Padding.SAME_ZERO,
+    bitpacked_output: bool = False,
+    fused_transform: bool = False,
+    zero_padding_correction: bool = False,
+    int8_output: bool = False,
+) -> LatencyBreakdown:
+    """Latency of one 2-D convolution at the given precision.
+
+    ``precision`` is ``"float32"``, ``"int8"`` or ``"binary"``.  For binary
+    convolutions, ``bitpacked_output`` selects the thresholding output path
+    and ``fused_transform`` the float path with per-channel multiplier/bias;
+    ``zero_padding_correction`` adds the extra correction step the paper
+    describes for zero-padded binarized convolutions.
+    """
+    geom = conv_geometry(in_h, in_w, kernel_h, kernel_w, stride, dilation, padding)
+    pixels = batch * geom.out_h * geom.out_w
+    depth = kernel_h * kernel_w * in_channels
+    macs = float(pixels) * depth * out_channels
+
+    if precision == "binary":
+        # LCE pads channels to a multiple of 32; the kernel's work is the
+        # *padded* MAC count, at 32-bit half-word depth granularity.
+        padded_cin = 32 * (-(-in_channels // 32))
+        depth_words = kernel_h * kernel_w * padded_cin / 64.0
+        weight_bytes = depth_words * 8.0 * out_channels
+        patch_bytes = pixels * depth_words * 8.0
+        row_eff = depth_words / (depth_words + device.binary_row_overhead_words)
+        # Very large bitpacked im2col buffers thrash L2 and degrade the
+        # sustained BGEMM rate (the binary kernel is so fast it becomes
+        # sensitive to patch-streaming bandwidth).
+        if patch_bytes > 2.0 * device.l2_bytes:
+            row_eff *= device.binary_patch_spill_penalty
+        macs = float(pixels) * kernel_h * kernel_w * padded_cin * out_channels
+    else:
+        elem = _BYTES[precision if precision != "binary" else "float32"]
+        weight_bytes = depth * elem * out_channels
+        patch_bytes = pixels * depth * elem
+        row_eff = depth / (depth + device.gemm_row_overhead_elems)
+        if in_channels <= 4:
+            row_eff *= device.stem_channel_penalty
+
+    # Register tiles cover several output rows (im2col pixels); GEMMs with
+    # few rows (e.g. binarized FC layers executed as 1x1 convolutions on a
+    # 1x1 spatial tensor) leave most of the tile idle.
+    pixel_tile_eff = pixels / (pixels + 4.0)
+
+    mpc = device.sustained(precision, weight_bytes) * row_eff * pixel_tile_eff
+    compute_cycles = macs / mpc
+
+    if bitpacked_output:
+        out_elem_bytes = _words(out_channels) * 8.0 / out_channels
+    elif int8_output or precision == "int8":
+        out_elem_bytes = _BYTES["int8"]
+    else:
+        out_elem_bytes = _BYTES["float32"]
+    out_bytes = pixels * out_channels * out_elem_bytes
+    traffic = weight_bytes + patch_bytes + out_bytes
+    memory_cycles = traffic / device.dram_bytes_per_cycle
+    accumulation_cycles = max(compute_cycles, memory_cycles)
+
+    im2col_cycles = patch_bytes / device.im2col_bytes_per_cycle
+
+    out_elems = float(pixels) * out_channels
+    if precision == "int8" or (precision == "binary" and int8_output):
+        transform_cycles = out_elems / device.requant_elems_per_cycle
+    elif precision == "binary" and bitpacked_output:
+        transform_cycles = out_elems / device.threshold_elems_per_cycle
+    elif precision == "binary":
+        # Float output: int32 accumulators -> float with fused channel ops.
+        rate = device.transform_elems_per_cycle
+        transform_cycles = out_elems / rate
+    else:
+        transform_cycles = 0.0  # float GEMM writes final values directly
+    if zero_padding_correction:
+        transform_cycles += out_elems / device.transform_elems_per_cycle
+
+    return LatencyBreakdown(
+        overhead_s=device.op_overhead_s,
+        im2col_s=device.cycles_to_seconds(im2col_cycles),
+        accumulation_s=device.cycles_to_seconds(accumulation_cycles),
+        transform_s=device.cycles_to_seconds(transform_cycles),
+        memory_bound=memory_cycles > compute_cycles,
+    )
+
+
+def _bandwidth_cost(device: DeviceModel, bytes_touched: float) -> LatencyBreakdown:
+    cycles = bytes_touched / device.eltwise_bytes_per_cycle
+    return LatencyBreakdown(
+        overhead_s=device.op_overhead_s, other_s=device.cycles_to_seconds(cycles)
+    )
+
+
+def _spec_bytes(spec: TensorSpec) -> float:
+    return float(spec.nbytes)
+
+
+# ----------------------------------------------------------- per-node costs
+def node_latency(
+    device: DeviceModel,
+    node: Node,
+    input_specs: list[TensorSpec],
+    output_specs: list[TensorSpec],
+) -> LatencyBreakdown:
+    """Latency estimate for one graph node."""
+    op = node.op
+    if op in ("conv2d", "lce_bconv2d"):
+        spec = input_specs[0]
+        n, h, w, _ = spec.shape
+        if op == "conv2d":
+            kh, kw, cin, cout = node.params["weights"].shape
+            precision = "float32"
+            bitpacked_output = False
+            int8_out = False
+            fused = False
+            zero_corr = False
+        else:
+            kh = int(node.attrs["kernel_h"])
+            kw = int(node.attrs["kernel_w"])
+            cin = int(node.attrs["in_channels"])
+            cout = int(node.attrs["out_channels"])
+            precision = "binary"
+            bitpacked_output = node.attr("output_type") == "bitpacked"
+            int8_out = node.attr("output_type") == "int8"
+            fused = node.params.get("multiplier") is not None
+            zero_corr = node.params.get("padding_correction") is not None
+        return conv_cost(
+            device,
+            precision,
+            n, h, w, cin, cout, kh, kw,
+            stride=int(node.attr("stride", 1)),
+            dilation=int(node.attr("dilation", 1)),
+            padding=Padding(node.attr("padding", Padding.SAME_ZERO)),
+            bitpacked_output=bitpacked_output,
+            fused_transform=fused,
+            zero_padding_correction=zero_corr,
+            int8_output=int8_out,
+        )
+    if op == "depthwise_conv2d":
+        spec = output_specs[0]
+        kh, kw, c = node.params["weights"].shape
+        macs = float(np.prod(spec.shape)) * kh * kw
+        mpc = device.sustained_macs_per_cycle["float32"] * _DEPTHWISE_EFFICIENCY
+        cycles = macs / mpc
+        return LatencyBreakdown(
+            overhead_s=device.op_overhead_s,
+            accumulation_s=device.cycles_to_seconds(cycles),
+        )
+    if op == "dense":
+        w = node.params["weights"]
+        macs = float(np.prod(output_specs[0].shape[:-1])) * w.shape[0] * w.shape[1]
+        weight_bytes = float(w.shape[0] * w.shape[1] * 4)
+        compute = macs / device.sustained("float32", weight_bytes)
+        memory = weight_bytes / device.dram_bytes_per_cycle
+        return LatencyBreakdown(
+            overhead_s=device.op_overhead_s,
+            accumulation_s=device.cycles_to_seconds(max(compute, memory)),
+            memory_bound=memory > compute,
+        )
+    if op == "conv2d_int8":
+        spec = input_specs[0]
+        n, h, w, _ = spec.shape
+        kh, kw, cin, cout = node.params["weights_q"].shape
+        return conv_cost(
+            device, "int8", n, h, w, cin, cout, kh, kw,
+            stride=int(node.attr("stride", 1)),
+            dilation=int(node.attr("dilation", 1)),
+            padding=Padding(node.attr("padding", Padding.SAME_ZERO)),
+        )
+    if op == "dense_int8":
+        w = node.params["weights_q"]
+        macs = float(np.prod(output_specs[0].shape[:-1])) * w.shape[0] * w.shape[1]
+        weight_bytes = float(w.shape[0] * w.shape[1])
+        compute = macs / device.sustained("int8", weight_bytes)
+        memory = weight_bytes / device.dram_bytes_per_cycle
+        return LatencyBreakdown(
+            overhead_s=device.op_overhead_s,
+            accumulation_s=device.cycles_to_seconds(max(compute, memory)),
+            memory_bound=memory > compute,
+        )
+    if op == "relu_int8":
+        touched = _spec_bytes(input_specs[0]) + _spec_bytes(output_specs[0])
+        return _bandwidth_cost(device, touched)
+    if op == "add_int8":
+        touched = sum(_spec_bytes(sp) for sp in input_specs) + _spec_bytes(
+            output_specs[0]
+        )
+        return _bandwidth_cost(device, touched)
+    if op in ("quantize_int8", "dequantize_int8", "requantize_int8"):
+        touched = _spec_bytes(input_specs[0]) + _spec_bytes(output_specs[0])
+        cycles = touched / device.eltwise_bytes_per_cycle
+        return LatencyBreakdown(
+            overhead_s=device.op_overhead_s,
+            transform_s=device.cycles_to_seconds(cycles),
+        )
+    if op == "lce_quantize":
+        return LatencyBreakdown(
+            overhead_s=device.op_overhead_s,
+            transform_s=device.cycles_to_seconds(
+                _spec_bytes(input_specs[0]) / device.pack_bytes_per_cycle
+            ),
+        )
+    if op == "lce_dequantize":
+        return LatencyBreakdown(
+            overhead_s=device.op_overhead_s,
+            transform_s=device.cycles_to_seconds(
+                _spec_bytes(output_specs[0]) / device.pack_bytes_per_cycle
+            ),
+        )
+    if op == "lce_bmaxpool2d":
+        spec = output_specs[0]
+        n, oh, ow, c = spec.shape
+        window = int(node.attrs["pool_h"]) * int(node.attrs["pool_w"])
+        word_ops = float(n * oh * ow * window * _words(c))
+        cycles = word_ops / (device.pool_elems_per_cycle * _BPOOL_WORD_SPEEDUP)
+        return LatencyBreakdown(
+            overhead_s=device.op_overhead_s, other_s=device.cycles_to_seconds(cycles)
+        )
+    if op in ("maxpool2d", "avgpool2d"):
+        spec = output_specs[0]
+        window = int(node.attrs["pool_h"]) * int(node.attrs["pool_w"])
+        elems = float(np.prod(spec.shape)) * window
+        cycles = elems / device.pool_elems_per_cycle
+        return LatencyBreakdown(
+            overhead_s=device.op_overhead_s, other_s=device.cycles_to_seconds(cycles)
+        )
+    if op == "global_avgpool":
+        return _bandwidth_cost(device, _spec_bytes(input_specs[0]))
+    if op in ("add", "mul"):
+        touched = sum(_spec_bytes(s) for s in input_specs) + _spec_bytes(output_specs[0])
+        return _bandwidth_cost(device, touched)
+    if op in ("batch_norm", "relu", "relu6", "binarize"):
+        touched = _spec_bytes(input_specs[0]) + _spec_bytes(output_specs[0])
+        return _bandwidth_cost(device, touched)
+    if op in ("softmax", "sigmoid"):
+        elems = float(output_specs[0].num_elements)
+        return LatencyBreakdown(
+            overhead_s=device.op_overhead_s,
+            other_s=device.cycles_to_seconds(elems / _EXP_ELEMS_PER_CYCLE),
+        )
+    if op == "pad_channels":
+        touched = _spec_bytes(input_specs[0]) + _spec_bytes(output_specs[0])
+        return _bandwidth_cost(device, touched)
+    if op == "concat":
+        touched = 2 * _spec_bytes(output_specs[0])
+        return _bandwidth_cost(device, touched)
+    if op in ("reshape", "identity"):
+        return LatencyBreakdown(overhead_s=device.op_overhead_s)
+    raise ValueError(f"no latency model for op {node.op!r}")
+
+
+@dataclass(frozen=True)
+class GraphLatency:
+    """Latency of a whole graph, with the per-node detail."""
+
+    per_node: dict[str, LatencyBreakdown] = field(default_factory=dict)
+
+    @property
+    def total_s(self) -> float:
+        return sum(b.total_s for b in self.per_node.values())
+
+    @property
+    def total_ms(self) -> float:
+        return self.total_s * 1e3
+
+
+def graph_latency(
+    device: DeviceModel, graph: Graph, threads: int = 1
+) -> GraphLatency:
+    """Estimate end-to-end latency of a graph.
+
+    ``threads > 1`` models LCE's Ruy-inherited multi-threaded inference;
+    see :meth:`LatencyBreakdown.with_threads`.
+    """
+    per_node: dict[str, LatencyBreakdown] = {}
+    for node in graph.nodes:
+        input_specs = [graph.tensors[t] for t in node.inputs]
+        output_specs = [graph.tensors[t] for t in node.outputs]
+        cost = node_latency(device, node, input_specs, output_specs)
+        per_node[node.name] = cost.with_threads(threads)
+    return GraphLatency(per_node=per_node)

@@ -1,0 +1,79 @@
+"""Inference batch normalization and the folding rules the converter uses.
+
+At inference a batch norm is an affine per-channel transform::
+
+    y = gamma * (x - mean) / sqrt(var + eps) + beta
+      = multiplier * x + bias
+
+The converter folds this into the preceding op (paper Section 3.1): into a
+float convolution's weights and bias "for free", or into ``LceBConv2d``'s
+two extra per-channel inputs (binary weights cannot absorb a multiplier).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class BatchNormParams:
+    """Learned + running statistics of one batch norm layer."""
+
+    gamma: np.ndarray
+    beta: np.ndarray
+    mean: np.ndarray
+    variance: np.ndarray
+    epsilon: float = 1e-3
+
+    def __post_init__(self) -> None:
+        shapes = {
+            np.shape(self.gamma),
+            np.shape(self.beta),
+            np.shape(self.mean),
+            np.shape(self.variance),
+        }
+        if len(shapes) != 1:
+            raise ValueError(f"mismatched batch norm parameter shapes: {shapes}")
+        if np.any(np.asarray(self.variance) < 0):
+            raise ValueError("variance must be non-negative")
+
+    @classmethod
+    def identity(cls, channels: int) -> "BatchNormParams":
+        return cls(
+            gamma=np.ones(channels, np.float32),
+            beta=np.zeros(channels, np.float32),
+            mean=np.zeros(channels, np.float32),
+            variance=np.ones(channels, np.float32),
+        )
+
+
+def fold_to_multiplier_bias(bn: BatchNormParams) -> tuple[np.ndarray, np.ndarray]:
+    """BN as ``y = multiplier * x + bias`` (for ``LceBConv2d`` fusion)."""
+    inv_std = 1.0 / np.sqrt(np.asarray(bn.variance, np.float64) + bn.epsilon)
+    multiplier = np.asarray(bn.gamma, np.float64) * inv_std
+    bias = np.asarray(bn.beta, np.float64) - multiplier * np.asarray(bn.mean, np.float64)
+    return multiplier.astype(np.float32), bias.astype(np.float32)
+
+
+def fold_into_conv(
+    weights: np.ndarray, bias: np.ndarray | None, bn: BatchNormParams
+) -> tuple[np.ndarray, np.ndarray]:
+    """Fold BN into a float convolution's weights and bias.
+
+    Args:
+        weights: ``(kh, kw, C_in, C_out)`` filters.
+        bias: optional ``(C_out,)`` conv bias.
+    """
+    multiplier, bn_bias = fold_to_multiplier_bias(bn)
+    new_weights = weights * multiplier  # broadcast over the C_out axis
+    old_bias = np.zeros(weights.shape[-1], np.float32) if bias is None else bias
+    new_bias = old_bias * multiplier + bn_bias
+    return new_weights.astype(np.float32), new_bias.astype(np.float32)
+
+
+def batch_norm(x: np.ndarray, bn: BatchNormParams) -> np.ndarray:
+    """Apply inference-mode batch normalization over the channel axis."""
+    multiplier, bias = fold_to_multiplier_bias(bn)
+    return (x * multiplier + bias).astype(np.float32)

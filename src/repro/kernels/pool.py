@@ -1,0 +1,70 @@
+"""Max, average and global pooling over NHWC tensors."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.im2col import _gather_indices, conv_geometry
+from repro.core.types import Padding
+
+
+def _pool_windows(
+    x: np.ndarray,
+    pool_h: int,
+    pool_w: int,
+    stride: int,
+    padding: Padding,
+    pad_value: float,
+) -> tuple[np.ndarray, int, int]:
+    n, in_h, in_w, c = x.shape
+    geom = conv_geometry(in_h, in_w, pool_h, pool_w, stride, 1, padding)
+    padded = np.pad(
+        x,
+        ((0, 0), (geom.pad_top, geom.pad_bottom), (geom.pad_left, geom.pad_right), (0, 0)),
+        constant_values=pad_value,
+    )
+    rows, cols = _gather_indices(geom, pool_h, pool_w, stride, 1)
+    return padded[:, rows, cols, :], geom.out_h, geom.out_w
+
+
+def maxpool2d(
+    x: np.ndarray,
+    pool_h: int,
+    pool_w: int,
+    stride: int | None = None,
+    padding: Padding = Padding.VALID,
+) -> np.ndarray:
+    """Max pooling.  SAME padding uses -inf so pads never win."""
+    if x.ndim != 4:
+        raise ValueError("expected NHWC input")
+    stride = stride or max(pool_h, pool_w)
+    windows, out_h, out_w = _pool_windows(
+        x.astype(np.float32), pool_h, pool_w, stride, padding, -np.inf
+    )
+    return windows.max(axis=2).reshape(x.shape[0], out_h, out_w, x.shape[-1])
+
+
+def avgpool2d(
+    x: np.ndarray,
+    pool_h: int,
+    pool_w: int,
+    stride: int | None = None,
+    padding: Padding = Padding.VALID,
+) -> np.ndarray:
+    """Average pooling.  SAME padding averages over valid elements only
+    (TensorFlow semantics)."""
+    if x.ndim != 4:
+        raise ValueError("expected NHWC input")
+    stride = stride or max(pool_h, pool_w)
+    windows, out_h, out_w = _pool_windows(
+        x.astype(np.float32), pool_h, pool_w, stride, padding, np.nan
+    )
+    out = np.nanmean(windows, axis=2)
+    return out.reshape(x.shape[0], out_h, out_w, x.shape[-1]).astype(np.float32)
+
+
+def global_avgpool(x: np.ndarray) -> np.ndarray:
+    """Global average pooling: ``(N, H, W, C) -> (N, C)``."""
+    if x.ndim != 4:
+        raise ValueError("expected NHWC input")
+    return x.astype(np.float32).mean(axis=(1, 2))

@@ -1,0 +1,88 @@
+"""int8 quantization parameters and (de)quantization helpers.
+
+Follows the TFLite affine scheme: ``real = scale * (q - zero_point)`` with
+int8 activations (asymmetric, per-tensor) and int8 weights (symmetric,
+per-output-channel, zero_point 0).  Accumulation is int32; requantization
+to the output scale uses round-half-away-from-zero like the TFLite
+reference kernels.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+INT8_MIN = -128
+INT8_MAX = 127
+
+
+@dataclass(frozen=True)
+class QuantParams:
+    """Affine quantization parameters for one tensor."""
+
+    scale: float
+    zero_point: int = 0
+
+    def __post_init__(self) -> None:
+        if not np.isfinite(self.scale) or self.scale <= 0:
+            raise ValueError(f"scale must be positive and finite, got {self.scale}")
+        if not INT8_MIN <= self.zero_point <= INT8_MAX:
+            raise ValueError(f"zero_point {self.zero_point} outside int8 range")
+
+    @classmethod
+    def from_range(cls, low: float, high: float) -> "QuantParams":
+        """Choose scale/zero-point covering ``[low, high]`` (must straddle 0)."""
+        low = min(float(low), 0.0)
+        high = max(float(high), 0.0)
+        if high == low:
+            return cls(scale=1.0, zero_point=0)
+        scale = (high - low) / (INT8_MAX - INT8_MIN)
+        zero_point = int(round(INT8_MIN - low / scale))
+        return cls(scale=scale, zero_point=int(np.clip(zero_point, INT8_MIN, INT8_MAX)))
+
+
+def quantize(x: np.ndarray, params: QuantParams) -> np.ndarray:
+    """Quantize float values to int8."""
+    q = np.round(np.asarray(x, dtype=np.float64) / params.scale) + params.zero_point
+    return np.clip(q, INT8_MIN, INT8_MAX).astype(np.int8)
+
+
+def dequantize(q: np.ndarray, params: QuantParams) -> np.ndarray:
+    """Recover float values from int8."""
+    return (q.astype(np.float32) - np.float32(params.zero_point)) * np.float32(
+        params.scale
+    )
+
+
+def quantize_weights_per_channel(
+    weights: np.ndarray, channel_axis: int = -1
+) -> tuple[np.ndarray, np.ndarray]:
+    """Symmetric per-channel int8 weight quantization.
+
+    Returns ``(q_weights, scales)`` where ``scales`` has one entry per
+    output channel and ``real = scale[c] * q``.
+    """
+    w = np.asarray(weights, dtype=np.float64)
+    axes = tuple(i for i in range(w.ndim) if i != channel_axis % w.ndim)
+    max_abs = np.abs(w).max(axis=axes)
+    scales = np.where(max_abs > 0, max_abs / INT8_MAX, 1.0)
+    shape = [1] * w.ndim
+    shape[channel_axis % w.ndim] = -1
+    q = np.round(w / scales.reshape(shape))
+    return np.clip(q, INT8_MIN, INT8_MAX).astype(np.int8), scales.astype(np.float64)
+
+
+def requantize(
+    acc: np.ndarray,
+    effective_scale: np.ndarray | float,
+    out_params: QuantParams,
+) -> np.ndarray:
+    """int32 accumulators -> int8 outputs at the output scale.
+
+    ``effective_scale`` is ``scale_in * scale_w / scale_out`` (per channel
+    when weights are per-channel).
+    """
+    scaled = acc.astype(np.float64) * np.asarray(effective_scale, dtype=np.float64)
+    q = np.round(scaled) + out_params.zero_point
+    return np.clip(q, INT8_MIN, INT8_MAX).astype(np.int8)

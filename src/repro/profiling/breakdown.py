@@ -1,0 +1,96 @@
+"""Profile aggregations: per-op-class shares and per-layer stacks."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.profiling.profiler import NodeProfile
+
+
+@dataclass(frozen=True)
+class OpClassShare:
+    """One row of a Table-4-style operator breakdown."""
+
+    op_class: str
+    latency_s: float
+    share_percent: float
+
+
+def quicknet_table4_rows(profiles: list[NodeProfile]) -> list[OpClassShare]:
+    """The paper's Table 4 subdivision.
+
+    ``LceBConv2d`` is split into its accumulation loop (im2col + BGEMM) and
+    its output transformation; the remaining full-precision operators are
+    grouped as Conv2D, Add, and "all other full precision".
+    """
+    buckets: dict[str, float] = {
+        "LceQuantize": 0.0,
+        "LceBConv2d (accumulation loop)": 0.0,
+        "LceBConv2d (output transformation)": 0.0,
+        "Full precision Conv2D": 0.0,
+        "Full precision Add": 0.0,
+        "All other full precision": 0.0,
+    }
+    for p in profiles:
+        b = p.breakdown
+        if p.op == "lce_bconv2d":
+            buckets["LceBConv2d (accumulation loop)"] += b.accumulation_s + b.im2col_s
+            buckets["LceBConv2d (output transformation)"] += b.transform_s
+            buckets["All other full precision"] += b.overhead_s + b.other_s
+        elif p.op == "lce_quantize":
+            buckets["LceQuantize"] += b.total_s
+        elif p.op == "conv2d":
+            buckets["Full precision Conv2D"] += b.total_s
+        elif p.op == "add":
+            buckets["Full precision Add"] += b.total_s
+        else:
+            buckets["All other full precision"] += b.total_s
+    total = sum(buckets.values())
+    return [
+        OpClassShare(op_class=k, latency_s=v, share_percent=100.0 * v / total)
+        for k, v in buckets.items()
+    ]
+
+
+def op_class_shares(profiles: list[NodeProfile]) -> dict[str, float]:
+    """Latency share (percent) per op type."""
+    totals: dict[str, float] = {}
+    for p in profiles:
+        totals[p.op] = totals.get(p.op, 0.0) + p.simulated_s
+    grand = sum(totals.values())
+    return {op: 100.0 * s / grand for op, s in sorted(totals.items())}
+
+
+def layer_stacks(profiles: list[NodeProfile]) -> list[dict[str, float | int | str]]:
+    """Figure-5-style per-layer latency stack.
+
+    One entry per *MAC layer* (convolution / dense); the glue ops between
+    two MAC layers (quantize, BN, add, pooling, ...) are attributed to the
+    preceding layer's stack, split into binary and full-precision time —
+    reproducing the stacked layer-number axis of the paper's Figure 5.
+    """
+    mac_ops = ("conv2d", "lce_bconv2d", "depthwise_conv2d", "dense")
+    stacks: list[dict[str, float | int | str]] = []
+    current: dict[str, float | int | str] | None = None
+    for p in profiles:
+        if p.op in mac_ops:
+            if current is not None:
+                stacks.append(current)
+            current = {
+                "layer": len(stacks),
+                "anchor_op": p.op,
+                "binary_s": 0.0,
+                "full_precision_s": 0.0,
+            }
+        if current is None:  # pre-stem glue (rare): open an implicit layer
+            current = {
+                "layer": 0,
+                "anchor_op": p.op,
+                "binary_s": 0.0,
+                "full_precision_s": 0.0,
+            }
+        key = "binary_s" if p.is_binary else "full_precision_s"
+        current[key] = float(current[key]) + p.simulated_s
+    if current is not None:
+        stacks.append(current)
+    return stacks

@@ -1,0 +1,80 @@
+"""Per-node latency profiles."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.graph.executor import Executor
+from repro.graph.ir import Graph
+from repro.hw.device import DeviceModel
+from repro.hw.latency import LatencyBreakdown, node_latency
+
+
+@dataclass(frozen=True)
+class NodeProfile:
+    """Profile record for one node."""
+
+    name: str
+    op: str
+    index: int
+    breakdown: LatencyBreakdown
+    #: wall-clock seconds of the NumPy kernel (when measured), else None
+    measured_s: float | None = None
+
+    @property
+    def simulated_s(self) -> float:
+        return self.breakdown.total_s
+
+    @property
+    def is_binary(self) -> bool:
+        return self.op.startswith("lce_")
+
+
+def profile_graph(
+    device: DeviceModel,
+    graph: Graph,
+    measure: bool = False,
+    input_value: np.ndarray | None = None,
+) -> list[NodeProfile]:
+    """Profile every node of a graph on a device model.
+
+    Args:
+        device: simulated device.
+        graph: (usually converted) inference graph.
+        measure: also run the graph once through the executor and record
+            NumPy wall-clock per node — useful for sanity-checking that the
+            *relative* cost structure of the real kernels agrees with the
+            model.
+        input_value: input tensor for the measured run; random data with
+            the graph's input shape when omitted.
+    """
+    measured: dict[str, float] = {}
+    if measure:
+        ex = Executor(graph)
+        if input_value is None:
+            spec = graph.tensors[graph.inputs[0]]
+            rng = np.random.default_rng(0)
+            input_value = rng.standard_normal(spec.shape).astype(np.float32)
+        ex.run(input_value)
+        measured = dict(ex.node_times)
+
+    profiles = []
+    for index, node in enumerate(graph.nodes):
+        breakdown = node_latency(
+            device,
+            node,
+            [graph.tensors[t] for t in node.inputs],
+            [graph.tensors[t] for t in node.outputs],
+        )
+        profiles.append(
+            NodeProfile(
+                name=node.name,
+                op=node.op,
+                index=index,
+                breakdown=breakdown,
+                measured_s=measured.get(node.name),
+            )
+        )
+    return profiles

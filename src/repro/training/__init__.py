@@ -1,0 +1,56 @@
+"""BNN training substrate (the Larq analog).
+
+Implements the training method the paper uses for QuickNet (Section 5.1):
+latent float weights binarized in the forward pass with the
+straight-through estimator, the Adam optimizer for binary weights and
+SGD-with-momentum for full-precision variables, linear warmup + cosine
+decay schedules, and a mini training loop.
+
+ImageNet is unavailable offline, so :mod:`repro.training.data` provides
+synthetic classification tasks; the tests verify the machinery *learns*
+(loss decreases, accuracy beats chance) rather than chasing benchmark
+accuracy — see the substitution notes in DESIGN.md.
+"""
+
+from repro.training.data import synthetic_classification, synthetic_images
+from repro.training.distillation import DistillationTrainer, distillation_loss
+from repro.training.layers import (
+    BatchNormLayer,
+    DenseLayer,
+    GlobalAvgPoolLayer,
+    QuantConv2D,
+    QuantDense,
+    ReluLayer,
+    Sequential,
+    softmax_cross_entropy,
+)
+from repro.training.loop import TrainConfig, Trainer
+from repro.training.optimizers import Adam, Optimizer, SGDMomentum
+from repro.training.schedules import constant, cosine_decay, warmup_cosine
+from repro.training.ste import clip_latent_weights, ste_sign, ste_sign_grad
+
+__all__ = [
+    "Adam",
+    "BatchNormLayer",
+    "DenseLayer",
+    "DistillationTrainer",
+    "GlobalAvgPoolLayer",
+    "Optimizer",
+    "QuantConv2D",
+    "QuantDense",
+    "ReluLayer",
+    "SGDMomentum",
+    "Sequential",
+    "TrainConfig",
+    "Trainer",
+    "clip_latent_weights",
+    "constant",
+    "cosine_decay",
+    "distillation_loss",
+    "softmax_cross_entropy",
+    "ste_sign",
+    "ste_sign_grad",
+    "synthetic_classification",
+    "synthetic_images",
+    "warmup_cosine",
+]

@@ -1,0 +1,89 @@
+"""Knowledge distillation for BNN training.
+
+The paper's conclusion names distillation as the obvious next step for
+QuickNet ("we expect QuickNet can improve further by applying more
+sophisticated methods such as knowledge distillation"); Real-to-Binary
+training also relies on a full-precision teacher.  This module provides
+the standard Hinton-style distillation objective for the training
+substrate: a temperature-softened KL term against teacher logits blended
+with the usual cross-entropy.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.training.layers import Sequential, softmax_cross_entropy
+from repro.training.loop import TrainConfig, Trainer
+
+
+def _softmax(x: np.ndarray) -> np.ndarray:
+    shifted = x - x.max(axis=1, keepdims=True)
+    e = np.exp(shifted)
+    return e / e.sum(axis=1, keepdims=True)
+
+
+def distillation_loss(
+    student_logits: np.ndarray,
+    teacher_logits: np.ndarray,
+    labels: np.ndarray,
+    temperature: float = 2.0,
+    alpha: float = 0.5,
+) -> tuple[float, np.ndarray]:
+    """Blended distillation objective and its gradient w.r.t. student logits.
+
+    ``loss = alpha * CE(student, labels)
+           + (1 - alpha) * T^2 * KL(teacher_T || student_T)``
+
+    with the conventional ``T^2`` factor so the soft-target gradient
+    magnitude is temperature-independent.
+    """
+    if not 0.0 <= alpha <= 1.0:
+        raise ValueError(f"alpha must be in [0, 1], got {alpha}")
+    if temperature <= 0:
+        raise ValueError(f"temperature must be positive, got {temperature}")
+    ce_loss, ce_grad = softmax_cross_entropy(student_logits, labels)
+
+    n = student_logits.shape[0]
+    t = temperature
+    p_teacher = _softmax(teacher_logits / t)
+    p_student = _softmax(student_logits / t)
+    kl = float(
+        np.sum(p_teacher * (np.log(p_teacher + 1e-12) - np.log(p_student + 1e-12)))
+        / n
+    )
+    # d/d(student_logits) of T^2 * KL = T * (p_student - p_teacher) / n
+    kl_grad = (t * (p_student - p_teacher) / n).astype(np.float32)
+
+    loss = alpha * ce_loss + (1 - alpha) * t * t * kl
+    grad = alpha * ce_grad + (1 - alpha) * kl_grad
+    return loss, grad.astype(np.float32)
+
+
+class DistillationTrainer(Trainer):
+    """Trains a (binarized) student against a frozen teacher."""
+
+    def __init__(
+        self,
+        student: Sequential,
+        teacher: Sequential,
+        config: TrainConfig,
+        steps_total: int,
+        temperature: float = 2.0,
+        alpha: float = 0.5,
+    ) -> None:
+        super().__init__(student, config, steps_total)
+        self.teacher = teacher
+        self.temperature = temperature
+        self.alpha = alpha
+
+    def train_step(self, x: np.ndarray, labels: np.ndarray) -> float:
+        teacher_logits = self.teacher.forward(x, training=False)
+        student_logits = self.model.forward(x, training=True)
+        loss, dlogits = distillation_loss(
+            student_logits, teacher_logits, labels, self.temperature, self.alpha
+        )
+        self.model.backward(dlogits)
+        for opt in self.optimizers:
+            opt.step()
+        return loss

@@ -1,0 +1,87 @@
+"""The training loop with the paper's mixed-optimizer setup."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.training.layers import Sequential, softmax_cross_entropy
+from repro.training.optimizers import Adam, SGDMomentum
+from repro.training.schedules import warmup_cosine
+
+
+@dataclass
+class TrainConfig:
+    """Hyper-parameters mirroring paper Section 5.1 (scaled down)."""
+
+    epochs: int = 10
+    batch_size: int = 32
+    binary_lr: float = 0.01  # Adam, binary latent weights
+    fp_lr: float = 0.1  # SGD momentum 0.9, full-precision variables
+    momentum: float = 0.9
+    warmup_epochs: int = 1
+    seed: int = 0
+
+
+@dataclass
+class TrainHistory:
+    loss: list[float] = field(default_factory=list)
+    accuracy: list[float] = field(default_factory=list)
+
+
+class Trainer:
+    """Trains a :class:`~repro.training.layers.Sequential` BNN.
+
+    Binary latent weights get Adam + weight clipping; full-precision
+    parameters get SGD with momentum — the paper's recipe.  Both learning
+    rates follow linear warmup + cosine decay.
+    """
+
+    def __init__(self, model: Sequential, config: TrainConfig, steps_total: int) -> None:
+        self.model = model
+        self.config = config
+        params = model.params()
+        binary = [p for p in params if p.group == "binary"]
+        fp = [p for p in params if p.group == "full_precision"]
+        warmup = max(1, config.warmup_epochs * max(1, steps_total // config.epochs))
+        self.optimizers = []
+        if binary:
+            self.optimizers.append(
+                Adam(binary, warmup_cosine(config.binary_lr, warmup, steps_total))
+            )
+        if fp:
+            self.optimizers.append(
+                SGDMomentum(
+                    fp,
+                    warmup_cosine(config.fp_lr, warmup, steps_total),
+                    momentum=config.momentum,
+                )
+            )
+
+    def train_step(self, x: np.ndarray, labels: np.ndarray) -> float:
+        logits = self.model.forward(x, training=True)
+        loss, dlogits = softmax_cross_entropy(logits, labels)
+        self.model.backward(dlogits)
+        for opt in self.optimizers:
+            opt.step()
+        return loss
+
+    def evaluate(self, x: np.ndarray, labels: np.ndarray) -> float:
+        logits = self.model.forward(x, training=False)
+        return float((logits.argmax(axis=1) == labels).mean())
+
+    def fit(self, x: np.ndarray, labels: np.ndarray) -> TrainHistory:
+        cfg = self.config
+        rng = np.random.default_rng(cfg.seed)
+        history = TrainHistory()
+        n = x.shape[0]
+        for _ in range(cfg.epochs):
+            order = rng.permutation(n)
+            epoch_losses = []
+            for start in range(0, n, cfg.batch_size):
+                idx = order[start : start + cfg.batch_size]
+                epoch_losses.append(self.train_step(x[idx], labels[idx]))
+            history.loss.append(float(np.mean(epoch_losses)))
+            history.accuracy.append(self.evaluate(x, labels))
+        return history

@@ -1,0 +1,85 @@
+"""Optimizers: Adam for binary latent weights, SGD+momentum for the rest.
+
+The paper trains QuickNet "using the Adam optimizer with initial learning
+rate 0.01 and the straight-through estimator for binary weights and
+stochastic gradient descent with momentum 0.9 and learning rate of 0.1 for
+full-precision variables" (Section 5.1).  Both optimizers take their
+current learning rate per step from a schedule callable.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.training.layers import Param
+from repro.training.ste import clip_latent_weights
+
+Schedule = Callable[[int], float]
+
+
+class Optimizer:
+    """Base: owns a parameter list and a learning-rate schedule."""
+
+    def __init__(self, params: Sequence[Param], schedule: Schedule) -> None:
+        self.params = list(params)
+        self.schedule = schedule
+        self.step_count = 0
+
+    def step(self) -> None:
+        lr = float(self.schedule(self.step_count))
+        for i, p in enumerate(self.params):
+            if p.grad is None:
+                continue
+            self._update(i, p, lr)
+        self.step_count += 1
+
+    def _update(self, i: int, p: Param, lr: float) -> None:
+        raise NotImplementedError
+
+
+class SGDMomentum(Optimizer):
+    """SGD with classical momentum."""
+
+    def __init__(
+        self, params: Sequence[Param], schedule: Schedule, momentum: float = 0.9
+    ) -> None:
+        super().__init__(params, schedule)
+        self.momentum = momentum
+        self._velocity = [np.zeros_like(p.value) for p in self.params]
+
+    def _update(self, i: int, p: Param, lr: float) -> None:
+        self._velocity[i] = self.momentum * self._velocity[i] + p.grad
+        p.value -= lr * self._velocity[i]
+
+
+class Adam(Optimizer):
+    """Adam (Kingma & Ba, 2015); clips binary latent weights after update."""
+
+    def __init__(
+        self,
+        params: Sequence[Param],
+        schedule: Schedule,
+        beta1: float = 0.9,
+        beta2: float = 0.999,
+        eps: float = 1e-8,
+        clip_latent: bool = True,
+    ) -> None:
+        super().__init__(params, schedule)
+        self.beta1 = beta1
+        self.beta2 = beta2
+        self.eps = eps
+        self.clip_latent = clip_latent
+        self._m = [np.zeros_like(p.value) for p in self.params]
+        self._v = [np.zeros_like(p.value) for p in self.params]
+
+    def _update(self, i: int, p: Param, lr: float) -> None:
+        t = self.step_count + 1
+        self._m[i] = self.beta1 * self._m[i] + (1 - self.beta1) * p.grad
+        self._v[i] = self.beta2 * self._v[i] + (1 - self.beta2) * p.grad**2
+        m_hat = self._m[i] / (1 - self.beta1**t)
+        v_hat = self._v[i] / (1 - self.beta2**t)
+        p.value -= lr * m_hat / (np.sqrt(v_hat) + self.eps)
+        if self.clip_latent and p.group == "binary":
+            p.value = clip_latent_weights(p.value)

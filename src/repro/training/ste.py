@@ -1,0 +1,33 @@
+"""The straight-through estimator (Hubara et al., 2016).
+
+Training a BNN keeps *latent* float weights; the forward pass uses their
+signs, and the backward pass pretends the sign function was the identity,
+clipped to the unit interval::
+
+    forward:   b = sign(w)
+    backward:  db/dw := 1[|w| <= 1]
+
+The clip prevents latent weights from drifting far from the binarization
+threshold where gradients could never flip them back.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def ste_sign(x: np.ndarray) -> np.ndarray:
+    """Binarize to +/-1 (zero maps to +1, matching ``LceQuantize``)."""
+    return np.where(x < 0, np.float32(-1.0), np.float32(1.0))
+
+
+def ste_sign_grad(x: np.ndarray, upstream: np.ndarray) -> np.ndarray:
+    """Straight-through gradient: pass through where ``|x| <= 1``."""
+    return np.where(np.abs(x) <= 1.0, upstream, 0.0).astype(np.float32)
+
+
+def clip_latent_weights(w: np.ndarray, limit: float = 1.0) -> np.ndarray:
+    """Constrain latent weights to ``[-limit, limit]`` after each update."""
+    if limit <= 0:
+        raise ValueError("limit must be positive")
+    return np.clip(w, -limit, limit)

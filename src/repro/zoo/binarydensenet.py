@@ -1,0 +1,64 @@
+"""BinaryDenseNet (Bethge et al., 2019).
+
+DenseNet-style feature reuse with binarized 3x3 convolutions: every layer
+appends ``growth`` new channels produced by a binarized conv; transitions
+between blocks downsample with a max pool and halve the feature count with
+a full-precision 1x1 convolution at a per-variant reduction rate.  The heavy use of concatenation and
+full-precision reductions is what makes BinaryDenseNet's per-layer profile
+(paper Figure 5) so much more full-precision-bound than QuickNet's.
+"""
+
+from __future__ import annotations
+
+from repro.core.types import Padding
+from repro.graph.builder import GraphBuilder
+from repro.graph.ir import Graph
+from repro.zoo.common import WeightFactory, binary_conv, classifier_head, conv_bn
+
+#: per depth variant: (layers per dense block, transition reduction rates)
+_VARIANTS: dict[int, tuple[tuple[int, ...], tuple[float, ...]]] = {
+    28: ((6, 6, 6, 5), (2.7, 2.7, 2.2)),
+    37: ((6, 8, 12, 6), (3.3, 3.3, 4.0)),
+    45: ((6, 12, 14, 8), (2.7, 3.3, 4.0)),
+}
+_GROWTH = 64
+
+
+def binarydensenet(
+    depth: int = 28,
+    input_size: int = 224,
+    classes: int = 1000,
+    seed: int = 23,
+) -> Graph:
+    """Build BinaryDenseNet-`depth` (28, 37 or 45)."""
+    try:
+        blocks, reductions = _VARIANTS[depth]
+    except KeyError:
+        raise ValueError(
+            f"unknown BinaryDenseNet depth {depth}; choose from {sorted(_VARIANTS)}"
+        ) from None
+    wf = WeightFactory(seed)
+    b = GraphBuilder((1, input_size, input_size, 3), name=f"binarydensenet{depth}")
+
+    # Full-precision stem: 7x7/2 conv + BN + ReLU + 3x3/2 max pool.
+    x = conv_bn(b, wf, b.input, 3, 64, kernel=7, stride=2)
+    x = b.maxpool2d(x, 3, 3, stride=2, padding=Padding.SAME_ZERO)
+    channels = 64
+
+    for block_idx, n_layers in enumerate(blocks):
+        for _ in range(n_layers):
+            h = binary_conv(b, wf, x, channels, _GROWTH, kernel=3)
+            h = b.batch_norm(h, wf.bn(_GROWTH))
+            x = b.concat([x, h])
+            channels += _GROWTH
+        if block_idx < len(blocks) - 1:
+            # Transition: downsample, then reduce features in full precision
+            # at the variant's reduction rate (Bethge et al., 2019 —
+            # deeper variants reduce harder to stay small and fast).
+            x = b.maxpool2d(x, 2, 2, stride=2)
+            reduced = max(32, int(round(channels / reductions[block_idx] / 32)) * 32)
+            x = conv_bn(b, wf, x, channels, reduced, kernel=1, activation=False)
+            channels = reduced
+    x = b.relu(x)
+    out = classifier_head(b, wf, x, channels, classes)
+    return b.finish(out)

@@ -1,0 +1,105 @@
+"""Shared building blocks for zoo models."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.types import Padding
+from repro.graph.builder import GraphBuilder
+from repro.kernels.batchnorm import BatchNormParams
+from repro.kernels.depthwise import blur_kernel
+
+
+class WeightFactory:
+    """Deterministic weight initialization for zoo models.
+
+    Real pretrained weights are irrelevant to latency (the experiments this
+    zoo feeds measure geometry, not accuracy), but tests want determinism,
+    so every model seeds its own generator.
+    """
+
+    def __init__(self, seed: int) -> None:
+        self.rng = np.random.default_rng(seed)
+
+    def conv(self, kh: int, kw: int, cin: int, cout: int) -> np.ndarray:
+        fan_in = kh * kw * cin
+        scale = np.sqrt(2.0 / fan_in)
+        return (self.rng.standard_normal((kh, kw, cin, cout)) * scale).astype(
+            np.float32
+        )
+
+    def depthwise(self, kh: int, kw: int, c: int) -> np.ndarray:
+        scale = np.sqrt(2.0 / (kh * kw))
+        return (self.rng.standard_normal((kh, kw, c)) * scale).astype(np.float32)
+
+    def dense(self, cin: int, cout: int) -> np.ndarray:
+        scale = np.sqrt(2.0 / cin)
+        return (self.rng.standard_normal((cin, cout)) * scale).astype(np.float32)
+
+    def bias(self, c: int) -> np.ndarray:
+        return np.zeros(c, np.float32)
+
+    def bn(self, c: int) -> BatchNormParams:
+        return BatchNormParams(
+            gamma=self.rng.uniform(0.6, 1.4, c).astype(np.float32),
+            beta=(self.rng.standard_normal(c) * 0.1).astype(np.float32),
+            mean=(self.rng.standard_normal(c) * 0.1).astype(np.float32),
+            variance=self.rng.uniform(0.5, 1.5, c).astype(np.float32),
+        )
+
+
+def binary_conv(
+    b: GraphBuilder,
+    wf: WeightFactory,
+    x: str,
+    cin: int,
+    cout: int,
+    kernel: int = 3,
+    stride: int = 1,
+    padding: Padding = Padding.SAME_ONE,
+) -> str:
+    """A binarized convolution in training form: sign(x) * sign(W)."""
+    h = b.binarize(x)
+    return b.conv2d(
+        h, wf.conv(kernel, kernel, cin, cout),
+        stride=stride, padding=padding, binary_weights=True,
+    )
+
+
+def conv_bn(
+    b: GraphBuilder,
+    wf: WeightFactory,
+    x: str,
+    cin: int,
+    cout: int,
+    kernel: int,
+    stride: int = 1,
+    activation: bool = True,
+    padding: Padding = Padding.SAME_ZERO,
+) -> str:
+    """Full-precision conv + BN (+ ReLU): the standard stem block."""
+    x = b.conv2d(x, wf.conv(kernel, kernel, cin, cout), stride=stride, padding=padding)
+    x = b.batch_norm(x, wf.bn(cout))
+    if activation:
+        x = b.relu(x)
+    return x
+
+
+def antialiased_maxpool(b: GraphBuilder, wf: WeightFactory, x: str, channels: int) -> str:
+    """Antialiased 3x3 max pooling (Zhang 2019; paper Figure 6b).
+
+    Realized efficiently as a stride-1 max pool followed by a strided
+    depthwise convolution with a fixed blurring kernel.
+    """
+    x = b.maxpool2d(x, 3, 3, stride=1, padding=Padding.SAME_ZERO)
+    blur = np.repeat(blur_kernel(3)[:, :, None], channels, axis=2).astype(np.float32)
+    return b.depthwise_conv2d(x, blur, stride=2, padding=Padding.SAME_ZERO)
+
+
+def classifier_head(
+    b: GraphBuilder, wf: WeightFactory, x: str, channels: int, classes: int = 1000
+) -> str:
+    """Global average pooling + full-precision fully connected layer."""
+    x = b.global_avgpool(x)
+    x = b.dense(x, wf.dense(channels, classes), wf.bias(classes))
+    return b.softmax(x)

@@ -1,0 +1,65 @@
+"""MeliusNet (Bethge et al., 2020).
+
+Alternates *Dense Blocks* (a binarized 3x3 conv whose ``growth`` output
+channels are concatenated onto the feature map) with *Improvement Blocks*
+(a binarized 3x3 conv whose output is added onto the most recent ``growth``
+channels, improving their quality).  Transitions use a max pool and a
+full-precision 1x1 reduction.  In the paper's Figure 7 MeliusNet trades
+higher accuracy against clearly worse latency than QuickNet — the many
+concatenations and fp reductions are expensive on device.
+"""
+
+from __future__ import annotations
+
+from repro.core.types import Padding
+from repro.graph.builder import GraphBuilder
+from repro.graph.ir import Graph
+from repro.zoo.common import WeightFactory, binary_conv, classifier_head, conv_bn
+
+#: (dense+improvement pairs per section) for MeliusNet-22
+_SECTIONS_22 = (4, 5, 4, 4)
+_GROWTH = 64
+#: channel count after each transition's fp 1x1 reduction
+_REDUCTIONS_22 = (160, 224, 256)
+
+
+def _add_to_tail(
+    b: GraphBuilder, x: str, tail_update: str, channels: int, growth: int
+) -> str:
+    """Improvement Block merge: add ``tail_update`` onto the last ``growth``
+    channels of ``x``, via a parameter-free channel pad."""
+    placed = b.pad_channels(tail_update, before=channels - growth)
+    return b.add(x, placed)
+
+
+def meliusnet22(input_size: int = 224, classes: int = 1000, seed: int = 29) -> Graph:
+    """Build MeliusNet-22."""
+    wf = WeightFactory(seed)
+    b = GraphBuilder((1, input_size, input_size, 3), name="meliusnet22")
+
+    # Stem: 3x3/2 fp conv to 32 features, a second 3x3 conv to 64, then a
+    # 3x3/2 max pool (MeliusNet's multi-conv stem, simplified).
+    x = conv_bn(b, wf, b.input, 3, 32, kernel=3, stride=2)
+    x = conv_bn(b, wf, x, 32, 64, kernel=3)
+    x = b.maxpool2d(x, 3, 3, stride=2, padding=Padding.SAME_ZERO)
+    channels = 64
+
+    for section_idx, n_pairs in enumerate(_SECTIONS_22):
+        for _ in range(n_pairs):
+            # Dense Block: concat `growth` new binary features.
+            h = binary_conv(b, wf, x, channels, _GROWTH, kernel=3)
+            h = b.batch_norm(h, wf.bn(_GROWTH))
+            x = b.concat([x, h])
+            channels += _GROWTH
+            # Improvement Block: refine the newest growth channels.
+            imp = binary_conv(b, wf, x, channels, _GROWTH, kernel=3)
+            imp = b.batch_norm(imp, wf.bn(_GROWTH))
+            x = _add_to_tail(b, x, imp, channels, _GROWTH)
+        if section_idx < len(_SECTIONS_22) - 1:
+            x = b.maxpool2d(x, 2, 2, stride=2)
+            reduced = _REDUCTIONS_22[section_idx]
+            x = conv_bn(b, wf, x, channels, reduced, kernel=1, activation=False)
+            channels = reduced
+    x = b.relu(x)
+    out = classifier_head(b, wf, x, channels, classes)
+    return b.finish(out)

@@ -1,0 +1,184 @@
+"""ResNet-18-family binarized models.
+
+Three related architectures share this module:
+
+- :func:`binary_resnet18` — the shortcut-ablation variants of paper
+  Figures 8/9: **A** keeps a full-precision shortcut over every binarized
+  convolution (downsampling shortcuts carry the channel-doubling
+  full-precision pointwise convolution of Figure 9, right); **B** keeps
+  shortcuts in regular blocks only; **C** has no shortcuts at all, giving
+  fully binary chains that the converter collapses into bitpacked
+  conv-to-conv links.
+- :func:`birealnet18` — Bi-Real Net (Liu et al., 2018): variant A with the
+  Bi-Real layer order (conv -> BN -> add).
+- :func:`realtobinarynet` — Real-to-Binary Net (Martinez et al., 2020):
+  variant A plus the data-driven per-channel gating branch (global pool ->
+  bottleneck MLP -> sigmoid -> scale), which adds the full-precision work
+  visible in the paper's Figure 5 profile.
+"""
+
+from __future__ import annotations
+
+from repro.core.types import Padding
+from repro.graph.builder import GraphBuilder
+from repro.graph.ir import Graph
+from repro.zoo.common import WeightFactory, binary_conv, classifier_head, conv_bn
+
+#: ResNet-18: four stages of two blocks; each block has two binarized
+#: convolutions (so "shortcut over each layer" means 4 shortcuts/stage).
+_STAGES = (64, 128, 256, 512)
+_BLOCKS_PER_STAGE = 2
+_LAYERS_PER_BLOCK = 2
+
+
+def _stem(b: GraphBuilder, wf: WeightFactory) -> str:
+    """Full-precision 7x7/2 conv + BN + ReLU + 3x3/2 max pool (224 -> 56)."""
+    x = conv_bn(b, wf, b.input, 3, _STAGES[0], kernel=7, stride=2)
+    return b.maxpool2d(x, 3, 3, stride=2, padding=Padding.SAME_ZERO)
+
+
+def _downsample_shortcut(
+    b: GraphBuilder, wf: WeightFactory, x: str, cin: int, cout: int
+) -> str:
+    """Figure 9 (right): 2x2 average pool + channel-doubling fp pointwise."""
+    s = b.avgpool2d(x, 2, 2, stride=2)
+    s = b.conv2d(s, wf.conv(1, 1, cin, cout))
+    return b.batch_norm(s, wf.bn(cout))
+
+
+def _binary_layer(
+    b: GraphBuilder,
+    wf: WeightFactory,
+    x: str,
+    cin: int,
+    cout: int,
+    stride: int,
+    shortcut: bool,
+    gating: bool = False,
+) -> str:
+    """One binarized 3x3 layer with optional shortcut and R2B gating."""
+    h = binary_conv(b, wf, x, cin, cout, kernel=3, stride=stride)
+    h = b.batch_norm(h, wf.bn(cout))
+    if gating:
+        # Real-to-Binary data-driven channel re-scaling of the conv output:
+        # GAP -> bottleneck dense -> dense -> sigmoid -> broadcast multiply.
+        g = b.global_avgpool(x)
+        hidden = max(cin // 8, 8)
+        g = b.dense(g, wf.dense(cin, hidden), wf.bias(hidden))
+        g = b.relu(g)
+        g = b.dense(g, wf.dense(hidden, cout), wf.bias(cout))
+        g = b.sigmoid(g)
+        g = b.reshape(g, (b.spec(g).shape[0], 1, 1, cout))
+        h = b.mul(h, g)
+    if not shortcut:
+        return h
+    if stride != 1 or cin != cout:
+        s = _downsample_shortcut(b, wf, x, cin, cout)
+    else:
+        s = x
+    return b.add(h, s)
+
+
+def _resnet18_body(
+    b: GraphBuilder,
+    wf: WeightFactory,
+    x: str,
+    regular_shortcuts: bool,
+    downsample_shortcuts: bool,
+    gating: bool = False,
+) -> str:
+    cin = _STAGES[0]
+    for stage_idx, cout in enumerate(_STAGES):
+        for block in range(_BLOCKS_PER_STAGE):
+            for layer in range(_LAYERS_PER_BLOCK):
+                downsamples = stage_idx > 0 and block == 0 and layer == 0
+                stride = 2 if downsamples else 1
+                if downsamples:
+                    shortcut = downsample_shortcuts
+                else:
+                    shortcut = regular_shortcuts
+                x = _binary_layer(
+                    b, wf, x, cin, cout,
+                    stride=stride, shortcut=shortcut, gating=gating,
+                )
+                cin = cout
+    return x
+
+
+def binary_resnet18(
+    variant: str = "A",
+    input_size: int = 224,
+    classes: int = 1000,
+    seed: int = 7,
+) -> Graph:
+    """Binarized ResNet-18 for the shortcut study (paper Figure 8).
+
+    Args:
+        variant: ``"A"`` shortcuts in every block, ``"B"`` shortcuts in the
+            regular blocks only, ``"C"`` no shortcuts anywhere.
+    """
+    variant = variant.upper()
+    if variant not in ("A", "B", "C"):
+        raise ValueError(f"variant must be A, B or C, got {variant!r}")
+    wf = WeightFactory(seed)
+    b = GraphBuilder((1, input_size, input_size, 3), name=f"binary_resnet18_{variant}")
+    x = _stem(b, wf)
+    x = _resnet18_body(
+        b, wf, x,
+        regular_shortcuts=variant in ("A", "B"),
+        downsample_shortcuts=variant == "A",
+    )
+    x = b.relu(x)
+    out = classifier_head(b, wf, x, _STAGES[-1], classes)
+    return b.finish(out)
+
+
+def birealnet18(input_size: int = 224, classes: int = 1000, seed: int = 11) -> Graph:
+    """Bi-Real Net 18: full-precision shortcut over every binarized conv."""
+    wf = WeightFactory(seed)
+    b = GraphBuilder((1, input_size, input_size, 3), name="birealnet18")
+    x = _stem(b, wf)
+    x = _resnet18_body(b, wf, x, regular_shortcuts=True, downsample_shortcuts=True)
+    x = b.relu(x)
+    out = classifier_head(b, wf, x, _STAGES[-1], classes)
+    return b.finish(out)
+
+
+def resnet18_float(input_size: int = 224, classes: int = 1000, seed: int = 17) -> Graph:
+    """Full-precision ResNet-18: the float baseline the paper binarizes.
+
+    Used by the extension experiment comparing whole-model latency across
+    precisions (float32 / int8-PTQ / binarized), extending the per-conv
+    comparison of Figure 2 to complete networks.
+    """
+    wf = WeightFactory(seed)
+    b = GraphBuilder((1, input_size, input_size, 3), name="resnet18_float")
+    x = _stem(b, wf)
+    cin = _STAGES[0]
+    for stage_idx, cout in enumerate(_STAGES):
+        for block in range(_BLOCKS_PER_STAGE):
+            stride = 2 if stage_idx > 0 and block == 0 else 1
+            h = conv_bn(b, wf, x, cin, cout, kernel=3, stride=stride)
+            h = b.conv2d(h, wf.conv(3, 3, cout, cout))
+            h = b.batch_norm(h, wf.bn(cout))
+            if stride != 1 or cin != cout:
+                s = _downsample_shortcut(b, wf, x, cin, cout)
+            else:
+                s = x
+            x = b.relu(b.add(h, s))
+            cin = cout
+    out = classifier_head(b, wf, x, _STAGES[-1], classes)
+    return b.finish(out)
+
+
+def realtobinarynet(input_size: int = 224, classes: int = 1000, seed: int = 13) -> Graph:
+    """Real-to-Binary Net: Bi-Real structure + data-driven gating branches."""
+    wf = WeightFactory(seed)
+    b = GraphBuilder((1, input_size, input_size, 3), name="realtobinarynet")
+    x = _stem(b, wf)
+    x = _resnet18_body(
+        b, wf, x, regular_shortcuts=True, downsample_shortcuts=True, gating=True
+    )
+    x = b.relu(x)
+    out = classifier_head(b, wf, x, _STAGES[-1], classes)
+    return b.finish(out)

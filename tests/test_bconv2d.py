@@ -1,0 +1,265 @@
+"""Tests for LceBConv2d: the optimized path against the float emulation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.bconv2d import (
+    BConv2DParams,
+    bconv2d,
+    bconv2d_reference,
+    pack_filters,
+    zero_padding_correction,
+)
+from repro.core.bitpack import pack_bits
+from repro.core.output_transform import compute_output_thresholds
+from repro.core.quantize_ops import lce_quantize
+from repro.core.types import Activation, OutputType, Padding
+
+
+def _case(rng, h=7, w=7, cin=37, cout=5, k=3, batch=2):
+    x = rng.standard_normal((batch, h, w, cin)).astype(np.float32)
+    weights = rng.choice([-1.0, 1.0], (k, k, cin, cout)).astype(np.float32)
+    return x, weights
+
+
+class TestAgainstReference:
+    @pytest.mark.parametrize(
+        "padding", [Padding.SAME_ONE, Padding.SAME_ZERO, Padding.VALID]
+    )
+    @pytest.mark.parametrize("stride", [1, 2, 3])
+    def test_padding_and_stride(self, rng, padding, stride):
+        x, w = _case(rng)
+        p = BConv2DParams(3, 3, 37, 5, stride=stride, padding=padding)
+        corr = (
+            zero_padding_correction(w, p, 7, 7)
+            if padding is Padding.SAME_ZERO
+            else None
+        )
+        got = bconv2d(lce_quantize(x), pack_filters(w), p, padding_correction=corr)
+        expected = bconv2d_reference(x, w, p)
+        assert np.array_equal(got, expected)
+
+    @pytest.mark.parametrize("k", [1, 2, 5])
+    def test_kernel_sizes(self, rng, k):
+        x, w = _case(rng, h=9, w=9, k=k)
+        p = BConv2DParams(k, k, 37, 5)
+        got = bconv2d(lce_quantize(x), pack_filters(w), p)
+        assert np.array_equal(got, bconv2d_reference(x, w, p))
+
+    def test_dilation(self, rng):
+        x, w = _case(rng, h=11, w=11)
+        p = BConv2DParams(3, 3, 37, 5, dilation=2)
+        got = bconv2d(lce_quantize(x), pack_filters(w), p)
+        assert np.array_equal(got, bconv2d_reference(x, w, p))
+
+    @given(
+        cin=st.integers(1, 130),
+        cout=st.integers(1, 9),
+        seed=st.integers(0, 2**32 - 1),
+    )
+    def test_arbitrary_channel_counts(self, cin, cout, seed):
+        rng = np.random.default_rng(seed)
+        x = rng.standard_normal((1, 4, 4, cin)).astype(np.float32)
+        w = rng.choice([-1.0, 1.0], (3, 3, cin, cout)).astype(np.float32)
+        p = BConv2DParams(3, 3, cin, cout)
+        got = bconv2d(lce_quantize(x), pack_filters(w), p)
+        assert np.array_equal(got, bconv2d_reference(x, w, p))
+
+    def test_non_square_kernel(self, rng):
+        x = rng.standard_normal((1, 8, 8, 33)).astype(np.float32)
+        w = rng.choice([-1.0, 1.0], (1, 3, 33, 4)).astype(np.float32)
+        p = BConv2DParams(1, 3, 33, 4)
+        got = bconv2d(lce_quantize(x), pack_filters(w), p)
+        assert np.array_equal(got, bconv2d_reference(x, w, p))
+
+    def test_non_binary_latent_weights_use_signs(self, rng):
+        x = rng.standard_normal((1, 5, 5, 16)).astype(np.float32)
+        w = rng.standard_normal((3, 3, 16, 3)).astype(np.float32)  # latent floats
+        p = BConv2DParams(3, 3, 16, 3)
+        got = bconv2d(lce_quantize(x), pack_filters(w), p)
+        assert np.array_equal(got, bconv2d_reference(x, w, p))
+
+
+class TestFusedTransform:
+    @pytest.mark.parametrize("order", [True, False])
+    @pytest.mark.parametrize("activation", list(Activation))
+    def test_multiplier_bias_activation(self, rng, order, activation):
+        x, w = _case(rng)
+        p = BConv2DParams(3, 3, 37, 5)
+        mult = rng.uniform(-1.5, 1.5, 5).astype(np.float32)
+        bias = rng.standard_normal(5).astype(np.float32)
+        got = bconv2d(
+            lce_quantize(x), pack_filters(w), p,
+            multiplier=mult, bias=bias, activation=activation,
+            scale_before_activation=order,
+        )
+        expected = bconv2d_reference(
+            x, w, p, multiplier=mult, bias=bias, activation=activation,
+            scale_before_activation=order,
+        )
+        assert np.array_equal(got, expected)
+
+
+class TestBitpackedOutput:
+    @pytest.mark.parametrize("padding", [Padding.SAME_ONE, Padding.SAME_ZERO])
+    def test_threshold_path_equals_quantized_float_path(self, rng, padding):
+        x, w = _case(rng, cout=9)
+        p = BConv2DParams(3, 3, 37, 9, padding=padding)
+        mult = rng.uniform(-2, 2, 9).astype(np.float32)
+        bias = rng.standard_normal(9).astype(np.float32)
+        corr = (
+            zero_padding_correction(w, p, 7, 7)
+            if padding is Padding.SAME_ZERO
+            else None
+        )
+        float_out = bconv2d(
+            lce_quantize(x), pack_filters(w), p, multiplier=mult, bias=bias,
+            activation=Activation.RELU, scale_before_activation=False,
+            padding_correction=corr,
+        )
+        thresholds = compute_output_thresholds(
+            p.depth, 9, mult, bias, Activation.RELU, scale_before_activation=False
+        )
+        packed = bconv2d(
+            lce_quantize(x), pack_filters(w), p,
+            output_type=OutputType.BITPACKED, thresholds=thresholds,
+            padding_correction=corr,
+        )
+        assert np.array_equal(packed.bits, pack_bits(float_out).bits)
+
+    def test_requires_thresholds(self, rng):
+        x, w = _case(rng)
+        p = BConv2DParams(3, 3, 37, 5)
+        with pytest.raises(ValueError, match="thresholds"):
+            bconv2d(
+                lce_quantize(x), pack_filters(w), p,
+                output_type=OutputType.BITPACKED,
+            )
+
+
+class TestZeroPaddingCorrection:
+    def test_correction_shape(self, rng):
+        _, w = _case(rng)
+        p = BConv2DParams(3, 3, 37, 5, padding=Padding.SAME_ZERO)
+        corr = zero_padding_correction(w, p, 7, 7)
+        assert corr.shape == (49, 5)
+        assert corr.dtype == np.int32
+
+    def test_interior_correction_is_zero(self, rng):
+        _, w = _case(rng)
+        p = BConv2DParams(3, 3, 37, 5, padding=Padding.SAME_ZERO)
+        corr = zero_padding_correction(w, p, 7, 7).reshape(7, 7, 5)
+        assert np.all(corr[1:-1, 1:-1] == 0)
+
+    def test_missing_correction_raises(self, rng):
+        x, w = _case(rng)
+        p = BConv2DParams(3, 3, 37, 5, padding=Padding.SAME_ZERO)
+        with pytest.raises(ValueError, match="padding_correction"):
+            bconv2d(lce_quantize(x), pack_filters(w), p)
+
+
+class TestValidation:
+    def test_rejects_channel_mismatch(self, rng):
+        x, w = _case(rng)
+        p = BConv2DParams(3, 3, 40, 5)
+        with pytest.raises(ValueError, match="channels"):
+            bconv2d(lce_quantize(x), pack_filters(w), p)
+
+    def test_rejects_filter_count_mismatch(self, rng):
+        x, w = _case(rng)
+        p = BConv2DParams(3, 3, 37, 7)
+        with pytest.raises(ValueError, match="output channels"):
+            bconv2d(lce_quantize(x), pack_filters(w), p)
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(ValueError):
+            BConv2DParams(0, 3, 4, 4)
+        with pytest.raises(ValueError):
+            BConv2DParams(3, 3, 4, 4, stride=0)
+
+    def test_pack_filters_rejects_non_hwio(self, rng):
+        with pytest.raises(ValueError):
+            pack_filters(rng.standard_normal((3, 3, 4)))
+
+    def test_params_properties(self):
+        p = BConv2DParams(3, 5, 64, 128)
+        assert p.depth == 3 * 5 * 64
+        assert p.macs_per_pixel == 3 * 5 * 64 * 128
+
+
+class TestBatching:
+    @pytest.mark.parametrize("batch", [1, 2, 5])
+    def test_batched_equals_per_sample(self, rng, batch):
+        x, w = _case(rng, batch=batch)
+        p = BConv2DParams(3, 3, 37, 5)
+        batched = bconv2d(lce_quantize(x), pack_filters(w), p)
+        for i in range(batch):
+            single = bconv2d(lce_quantize(x[i : i + 1]), pack_filters(w), p)
+            assert np.array_equal(batched[i : i + 1], single)
+
+
+class TestGroups:
+    @pytest.mark.parametrize("groups", [2, 4])
+    def test_grouped_matches_reference(self, rng, groups):
+        cin, cout = 16 * groups, 4 * groups
+        x = rng.standard_normal((1, 6, 6, cin)).astype(np.float32)
+        w = rng.choice([-1.0, 1.0], (3, 3, cin // groups, cout)).astype(np.float32)
+        p = BConv2DParams(3, 3, cin, cout, groups=groups)
+        got = bconv2d(lce_quantize(x), pack_filters(w), p)
+        assert np.array_equal(got, bconv2d_reference(x, w, p))
+
+    def test_groups_must_divide_channels(self):
+        with pytest.raises(ValueError, match="groups"):
+            BConv2DParams(3, 3, 10, 8, groups=3)
+
+    def test_depth_reflects_groups(self):
+        p = BConv2DParams(3, 3, 64, 64, groups=4)
+        assert p.depth == 9 * 16
+
+    def test_unpack_filters_roundtrip(self, rng):
+        from repro.core.bconv2d import unpack_filters
+
+        w = rng.choice([-1.0, 1.0], (3, 3, 40, 8)).astype(np.float32)
+        assert np.array_equal(unpack_filters(pack_filters(w)), w)
+
+
+class TestInt8Output:
+    def test_matches_quantized_float_path(self, rng):
+        from repro.kernels.quantization import QuantParams, dequantize
+
+        x, w = _case(rng, cin=32, cout=8)
+        p = BConv2DParams(3, 3, 32, 8)
+        mult = rng.uniform(0.01, 0.05, 8).astype(np.float32)
+        f = bconv2d(lce_quantize(x), pack_filters(w), p, multiplier=mult)
+        q = bconv2d(
+            lce_quantize(x), pack_filters(w), p, multiplier=mult,
+            output_type=OutputType.INT8,
+            int8_output_scale=0.1, int8_output_zero_point=3,
+        )
+        assert q.dtype == np.int8
+        err = np.abs(dequantize(q, QuantParams(0.1, 3)) - f).max()
+        assert err <= 0.051  # half the output scale + rounding
+
+    def test_requires_scale(self, rng):
+        x, w = _case(rng)
+        p = BConv2DParams(3, 3, 37, 5)
+        with pytest.raises(ValueError, match="int8_output_scale"):
+            bconv2d(
+                lce_quantize(x), pack_filters(w), p,
+                output_type=OutputType.INT8,
+            )
+
+    def test_activation_applied_before_quantization(self, rng):
+        x, w = _case(rng, cin=32, cout=4)
+        p = BConv2DParams(3, 3, 32, 4)
+        q = bconv2d(
+            lce_quantize(x), pack_filters(w), p,
+            activation=Activation.RELU,
+            output_type=OutputType.INT8,
+            int8_output_scale=0.5, int8_output_zero_point=-10,
+        )
+        assert np.all(q >= -10)  # relu floor sits at the zero point

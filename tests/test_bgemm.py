@@ -1,0 +1,105 @@
+"""Tests for repro.core.bgemm: all kernels agree with the gold standard."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.bgemm import bgemm, bgemm_blocked, bgemm_reference
+from repro.core.bitpack import pack_bits
+
+
+def _random_operands(rng, m, n, depth):
+    a = rng.choice([-1.0, 1.0], (m, depth)).astype(np.float32)
+    b = rng.choice([-1.0, 1.0], (n, depth)).astype(np.float32)
+    return a, b, pack_bits(a).bits, pack_bits(b).bits
+
+
+class TestAgainstFloatGEMM:
+    @given(
+        m=st.integers(1, 8),
+        n=st.integers(1, 8),
+        depth=st.integers(1, 200),
+        seed=st.integers(0, 2**32 - 1),
+    )
+    def test_vectorized_matches_float(self, m, n, depth, seed):
+        rng = np.random.default_rng(seed)
+        a, b, pa, pb = _random_operands(rng, m, n, depth)
+        expected = (a @ b.T).astype(np.int32)
+        assert np.array_equal(bgemm(pa, pb, depth), expected)
+
+    def test_reference_matches_float(self, rng):
+        a, b, pa, pb = _random_operands(rng, 5, 7, 130)
+        expected = (a @ b.T).astype(np.int32)
+        assert np.array_equal(bgemm_reference(pa, pb, 130), expected)
+
+
+class TestBlockedKernel:
+    @pytest.mark.parametrize("tile_m,tile_n", [(1, 1), (2, 3), (16, 16), (1000, 1000)])
+    def test_tiling_is_bit_identical(self, rng, tile_m, tile_n):
+        _, _, pa, pb = _random_operands(rng, 33, 17, 190)
+        assert np.array_equal(
+            bgemm_blocked(pa, pb, 190, tile_m, tile_n), bgemm(pa, pb, 190)
+        )
+
+    def test_rejects_bad_tiles(self, rng):
+        _, _, pa, pb = _random_operands(rng, 4, 4, 64)
+        with pytest.raises(ValueError):
+            bgemm_blocked(pa, pb, 64, tile_m=0)
+
+    @given(seed=st.integers(0, 2**32 - 1))
+    def test_blocked_matches_reference(self, seed):
+        rng = np.random.default_rng(seed)
+        m, n, depth = rng.integers(1, 20), rng.integers(1, 20), rng.integers(1, 300)
+        _, _, pa, pb = _random_operands(rng, m, n, depth)
+        assert np.array_equal(
+            bgemm_blocked(pa, pb, depth), bgemm_reference(pa, pb, depth)
+        )
+
+
+class TestValidation:
+    def test_rejects_non_uint64(self, rng):
+        a = np.zeros((2, 1), np.uint32)
+        b = np.zeros((2, 1), np.uint64)
+        with pytest.raises(TypeError):
+            bgemm(a, b, 10)
+
+    def test_rejects_word_mismatch(self):
+        with pytest.raises(ValueError):
+            bgemm(np.zeros((2, 1), np.uint64), np.zeros((2, 2), np.uint64), 10)
+
+    def test_rejects_non_2d(self):
+        with pytest.raises(ValueError):
+            bgemm(np.zeros((2,), np.uint64), np.zeros((2, 1), np.uint64), 10)
+
+    @pytest.mark.parametrize("depth", [0, -5, 65])
+    def test_rejects_out_of_range_depth(self, depth):
+        a = np.zeros((2, 1), np.uint64)
+        with pytest.raises(ValueError):
+            bgemm(a, a, depth)
+
+    def test_depth_exactly_word_capacity_allowed(self):
+        a = np.zeros((2, 1), np.uint64)
+        out = bgemm(a, a, 64)
+        assert np.all(out == 64)
+
+
+class TestAccumulatorRange:
+    def test_extremes(self):
+        ones = pack_bits(np.ones((1, 128), np.float32)).bits
+        negs = pack_bits(-np.ones((1, 128), np.float32)).bits
+        assert bgemm(ones, ones, 128)[0, 0] == 128
+        assert bgemm(ones, negs, 128)[0, 0] == -128
+
+    def test_output_dtype_is_int32(self, rng):
+        _, _, pa, pb = _random_operands(rng, 2, 2, 64)
+        assert bgemm(pa, pb, 64).dtype == np.int32
+        assert bgemm_blocked(pa, pb, 64).dtype == np.int32
+
+    def test_parity_matches_depth(self, rng):
+        # acc = depth - 2*popcount always has the same parity as depth.
+        _, _, pa, pb = _random_operands(rng, 6, 6, 77)
+        acc = bgemm(pa, pb, 77)
+        assert np.all((acc - 77) % 2 == 0)

@@ -1,0 +1,77 @@
+"""Tests for LceBMaxPool2d: max(sign(X)) == sign(max(X))."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.bitpack import unpack_bits
+from repro.core.bmaxpool import bmaxpool2d
+from repro.core.quantize_ops import lce_quantize
+from repro.core.types import Padding
+from repro.kernels.pool import maxpool2d
+
+
+def _sign(x):
+    return np.where(x < 0, np.float32(-1.0), np.float32(1.0))
+
+
+class TestEquivalence:
+    @given(
+        h=st.integers(2, 10),
+        channels=st.integers(1, 130),
+        pool=st.integers(1, 3),
+        seed=st.integers(0, 2**32 - 1),
+    )
+    def test_commutes_with_binarization(self, h, channels, pool, seed):
+        """bmaxpool(quantize(x)) == quantize(maxpool(x)) — the identity that
+        lets the converter move the pool behind binarization."""
+        if pool > h:
+            pool = h
+        rng = np.random.default_rng(seed)
+        x = rng.standard_normal((1, h, h, channels)).astype(np.float32)
+        pooled_bits = bmaxpool2d(lce_quantize(x), pool, pool)
+        expected = _sign(maxpool2d(x, pool, pool))
+        assert np.array_equal(unpack_bits(pooled_bits), expected)
+
+    def test_stride_overlapping_windows(self, rng):
+        x = rng.standard_normal((2, 6, 6, 70)).astype(np.float32)
+        got = unpack_bits(bmaxpool2d(lce_quantize(x), 3, 3, stride=1))
+        expected = _sign(maxpool2d(x, 3, 3, stride=1))
+        assert np.array_equal(got, expected)
+
+    def test_same_padding_pads_with_minus_one(self, rng):
+        x = rng.standard_normal((1, 5, 5, 64)).astype(np.float32)
+        got = unpack_bits(
+            bmaxpool2d(lce_quantize(x), 2, 2, stride=2, padding=Padding.SAME_ONE)
+        )
+        expected = _sign(maxpool2d(x, 2, 2, stride=2, padding=Padding.SAME_ZERO))
+        assert np.array_equal(got, expected)
+
+    def test_all_negative_window_pools_to_minus_one(self):
+        x = -np.ones((1, 2, 2, 32), np.float32)
+        got = unpack_bits(bmaxpool2d(lce_quantize(x), 2, 2))
+        assert np.all(got == -1.0)
+
+    def test_any_positive_wins(self):
+        x = -np.ones((1, 2, 2, 32), np.float32)
+        x[0, 1, 1, :] = 1.0
+        got = unpack_bits(bmaxpool2d(lce_quantize(x), 2, 2))
+        assert np.all(got == 1.0)
+
+
+class TestValidation:
+    def test_rejects_non_4d(self, rng):
+        x = rng.standard_normal((5, 5, 64)).astype(np.float32)
+        with pytest.raises(ValueError):
+            bmaxpool2d(lce_quantize(x), 2, 2)
+
+    def test_default_stride_is_window(self, rng):
+        x = rng.standard_normal((1, 8, 8, 32)).astype(np.float32)
+        assert bmaxpool2d(lce_quantize(x), 2, 2).shape == (1, 4, 4, 32)
+
+    def test_preserves_channel_count(self, rng):
+        x = rng.standard_normal((1, 4, 4, 100)).astype(np.float32)
+        assert bmaxpool2d(lce_quantize(x), 2, 2).channels == 100

@@ -1,0 +1,132 @@
+"""End-to-end converter tests: numerics preserved, optimizations applied."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.converter import convert
+from repro.core.types import Padding
+from repro.graph.builder import GraphBuilder
+from repro.graph.executor import Executor
+from repro.kernels.batchnorm import BatchNormParams
+
+
+def _bn(rng, c):
+    return BatchNormParams(
+        gamma=rng.uniform(0.5, 1.5, c).astype(np.float32),
+        beta=rng.standard_normal(c).astype(np.float32),
+        mean=rng.standard_normal(c).astype(np.float32),
+        variance=rng.uniform(0.2, 1.5, c).astype(np.float32),
+    )
+
+
+def _residual_net(rng):
+    """Stem conv + two binary residual layers + bmaxpool pattern + head."""
+    b = GraphBuilder((1, 12, 12, 8), name="toy_residual")
+    x = b.conv2d(b.input, rng.standard_normal((3, 3, 8, 16)).astype(np.float32))
+    x = b.batch_norm(x, _bn(rng, 16))
+    for _ in range(2):
+        h = b.binarize(x)
+        h = b.conv2d(
+            h, rng.choice([-1.0, 1.0], (3, 3, 16, 16)).astype(np.float32),
+            padding=Padding.SAME_ONE, binary_weights=True,
+        )
+        h = b.relu(h)
+        h = b.batch_norm(h, _bn(rng, 16))
+        x = b.add(h, x)
+    p = b.maxpool2d(x, 2, 2)
+    q = b.binarize(p)
+    q = b.conv2d(
+        q, rng.choice([-1.0, 1.0], (3, 3, 16, 16)).astype(np.float32),
+        padding=Padding.SAME_ONE, binary_weights=True,
+    )
+    g = b.global_avgpool(q)
+    out = b.dense(g, rng.standard_normal((16, 10)).astype(np.float32))
+    return b.finish(out)
+
+
+class TestNumericalEquivalence:
+    def test_residual_net_exact(self, rng):
+        g = _residual_net(rng)
+        x = rng.standard_normal((1, 12, 12, 8)).astype(np.float32)
+        before = Executor(g).run(x)
+        model = convert(g)
+        after = Executor(model.graph).run(x)
+        np.testing.assert_allclose(after, before, rtol=1e-4, atol=1e-4)
+
+    def test_chain_net_exact(self, rng):
+        """No shortcuts: the whole binary chain exchanges bitpacked data and
+        stays exactly equal to the emulation (integer arithmetic)."""
+        b = GraphBuilder((1, 8, 8, 8))
+        x = b.input
+        for i in range(3):
+            h = b.binarize(x)
+            h = b.conv2d(
+                h, rng.choice([-1.0, 1.0], (3, 3, 8, 8)).astype(np.float32),
+                padding=Padding.SAME_ONE, binary_weights=True,
+            )
+            h = b.batch_norm(h, _bn(rng, 8))
+            x = h
+        g = b.finish(b.global_avgpool(x))
+        inp = rng.standard_normal((1, 8, 8, 8)).astype(np.float32)
+        before = Executor(g).run(inp)
+        model = convert(g)
+        after = Executor(model.graph).run(inp)
+        np.testing.assert_allclose(after, before, rtol=1e-4, atol=1e-4)
+        # middle convs write bitpacked output
+        out_types = [
+            n.attr("output_type") for n in model.graph.ops_by_type("lce_bconv2d")
+        ]
+        assert out_types[:2] == ["bitpacked", "bitpacked"]
+
+
+class TestOptimizationsApplied:
+    def test_converted_op_mix(self, rng):
+        model = convert(_residual_net(rng))
+        ops = {n.op for n in model.graph.nodes}
+        assert "lce_bconv2d" in ops
+        assert "lce_bmaxpool2d" in ops
+        assert "binarize" not in ops
+        assert "batch_norm" not in ops
+        assert "relu" not in ops  # fused
+
+    def test_report_counts(self, rng):
+        g = _residual_net(rng)
+        model = convert(g)
+        assert model.report.nodes_before == len(g)
+        assert model.report.nodes_after == len(model.graph)
+        assert model.report.nodes_after < model.report.nodes_before
+        assert model.report.weight_compression > 1.0
+
+    def test_in_place_false_preserves_input(self, rng):
+        g = _residual_net(rng)
+        n_before = len(g)
+        convert(g, in_place=False)
+        assert len(g) == n_before
+
+    def test_in_place_true_mutates(self, rng):
+        g = _residual_net(rng)
+        model = convert(g, in_place=True)
+        assert model.graph is g
+
+    def test_pass_changes_recorded(self, rng):
+        model = convert(_residual_net(rng))
+        assert model.report.pass_changes["binarize_convs"] >= 1
+        assert model.report.pass_changes["fuse_batchnorm"] >= 1
+        assert model.report.pass_changes["bmaxpool_swap"] >= 1
+
+    def test_idempotent(self, rng):
+        model = convert(_residual_net(rng))
+        again = convert(model.graph)
+        assert len(again.graph) == len(model.graph)
+
+
+class TestPureFloatGraphUntouched:
+    def test_float_net_passes_through(self, rng):
+        b = GraphBuilder((1, 8, 8, 3))
+        x = b.conv2d(b.input, rng.standard_normal((3, 3, 3, 8)).astype(np.float32))
+        x = b.global_avgpool(x)
+        g = b.finish(x)
+        model = convert(g)
+        assert {n.op for n in model.graph.nodes} == {"conv2d", "global_avgpool"}

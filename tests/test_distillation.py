@@ -1,0 +1,112 @@
+"""Tests for knowledge distillation (the paper's named future-work item)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.training import (
+    BatchNormLayer,
+    DenseLayer,
+    QuantDense,
+    Sequential,
+    TrainConfig,
+    Trainer,
+    synthetic_classification,
+)
+from repro.training.distillation import DistillationTrainer, distillation_loss
+
+
+class TestDistillationLoss:
+    def test_alpha_one_is_plain_cross_entropy(self, rng):
+        from repro.training.layers import softmax_cross_entropy
+
+        logits = rng.standard_normal((4, 5)).astype(np.float32)
+        teacher = rng.standard_normal((4, 5)).astype(np.float32)
+        labels = np.array([0, 1, 2, 3])
+        loss, grad = distillation_loss(logits, teacher, labels, alpha=1.0)
+        ce_loss, ce_grad = softmax_cross_entropy(logits, labels)
+        assert loss == pytest.approx(ce_loss)
+        np.testing.assert_allclose(grad, ce_grad, atol=1e-7)
+
+    def test_matching_teacher_gives_zero_kl(self, rng):
+        logits = rng.standard_normal((4, 5)).astype(np.float32)
+        labels = np.zeros(4, dtype=int)
+        loss, grad = distillation_loss(logits, logits.copy(), labels, alpha=0.0)
+        assert loss == pytest.approx(0.0, abs=1e-5)
+        np.testing.assert_allclose(grad, 0.0, atol=1e-6)
+
+    def test_gradient_points_toward_teacher(self, rng):
+        """A step against the gradient must reduce the soft-target loss."""
+        student = rng.standard_normal((2, 4)).astype(np.float32)
+        teacher = rng.standard_normal((2, 4)).astype(np.float32)
+        labels = np.array([0, 1])
+        loss0, grad = distillation_loss(student, teacher, labels, alpha=0.0)
+        loss1, _ = distillation_loss(student - 0.1 * grad, teacher, labels, alpha=0.0)
+        assert loss1 < loss0
+
+    def test_numeric_gradient_check(self, rng):
+        student = rng.standard_normal((2, 3)).astype(np.float64)
+        teacher = rng.standard_normal((2, 3)).astype(np.float64)
+        labels = np.array([0, 2])
+        _, grad = distillation_loss(student, teacher, labels, temperature=3.0, alpha=0.3)
+        eps = 1e-5
+        for idx in [(0, 0), (1, 2)]:
+            student[idx] += eps
+            plus, _ = distillation_loss(student, teacher, labels, 3.0, 0.3)
+            student[idx] -= 2 * eps
+            minus, _ = distillation_loss(student, teacher, labels, 3.0, 0.3)
+            student[idx] += eps
+            numeric = (plus - minus) / (2 * eps)
+            assert numeric == pytest.approx(float(grad[idx]), abs=1e-4)
+
+    def test_validation(self, rng):
+        logits = rng.standard_normal((2, 3)).astype(np.float32)
+        labels = np.array([0, 1])
+        with pytest.raises(ValueError):
+            distillation_loss(logits, logits, labels, alpha=1.5)
+        with pytest.raises(ValueError):
+            distillation_loss(logits, logits, labels, temperature=0.0)
+
+
+class TestDistillationTrainer:
+    def _teacher_student(self, rng_seed=0):
+        rng = np.random.default_rng(rng_seed)
+        teacher = Sequential([
+            DenseLayer(12, 64, rng=rng),
+            BatchNormLayer(64),
+            DenseLayer(64, 4, rng=rng),
+        ])
+        student = Sequential([
+            QuantDense(12, 32, binarize_input=False, rng=rng),
+            BatchNormLayer(32),
+            DenseLayer(32, 4, rng=rng),
+        ])
+        return teacher, student
+
+    def test_student_learns_from_teacher(self):
+        x, y = synthetic_classification(256, 12, 4, noise=0.4, seed=2)
+        teacher, student = self._teacher_student()
+        cfg = TrainConfig(epochs=8, batch_size=32)
+        steps = cfg.epochs * (len(x) // cfg.batch_size)
+        # Train the full-precision teacher first.
+        Trainer(teacher, cfg, steps).fit(x, y)
+        teacher_acc = Trainer(teacher, cfg, steps).evaluate(x, y)
+        assert teacher_acc > 0.8
+
+        distiller = DistillationTrainer(
+            student, teacher, cfg, steps, temperature=2.0, alpha=0.5
+        )
+        history = distiller.fit(x, y)
+        assert history.loss[-1] < history.loss[0]
+        assert history.accuracy[-1] > 0.6
+
+    def test_teacher_is_frozen(self):
+        x, y = synthetic_classification(64, 12, 4, seed=3)
+        teacher, student = self._teacher_student()
+        before = [p.value.copy() for p in teacher.params()]
+        cfg = TrainConfig(epochs=2, batch_size=32)
+        DistillationTrainer(student, teacher, cfg, 4).fit(x, y)
+        after = [p.value for p in teacher.params()]
+        for b, a in zip(before, after):
+            assert np.array_equal(b, a)

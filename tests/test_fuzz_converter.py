@@ -1,0 +1,141 @@
+"""Property-based fuzzing of the converter.
+
+Generates random mixed binary/full-precision networks — random layer
+kinds, paddings, layer orders, shortcut placements — and checks the
+converter's core contract on every one: the optimized inference graph
+computes the same function as the training graph.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.converter import convert
+from repro.core.types import Padding
+from repro.graph.builder import GraphBuilder
+from repro.graph.executor import Executor
+from repro.kernels.batchnorm import BatchNormParams
+
+
+def _random_bn(rng, c):
+    return BatchNormParams(
+        gamma=rng.uniform(0.5, 1.5, c).astype(np.float32),
+        beta=rng.standard_normal(c).astype(np.float32),
+        mean=rng.standard_normal(c).astype(np.float32),
+        variance=rng.uniform(0.3, 1.5, c).astype(np.float32),
+    )
+
+
+@st.composite
+def random_network(draw):
+    """A random-but-valid training graph plus a matching input tensor."""
+    seed = draw(st.integers(0, 2**31 - 1))
+    rng = np.random.default_rng(seed)
+    channels = draw(st.sampled_from([8, 16, 24]))
+    size = draw(st.integers(6, 10))
+    n_blocks = draw(st.integers(1, 4))
+    block_specs = [
+        {
+            "kind": draw(st.sampled_from(["binary", "float"])),
+            "padding": draw(
+                st.sampled_from([Padding.SAME_ONE, Padding.SAME_ZERO])
+            ),
+            "relu": draw(st.booleans()),
+            "bn_first": draw(st.booleans()),
+            "shortcut": draw(st.booleans()),
+            "pool_after": draw(st.booleans()),
+        }
+        for _ in range(n_blocks)
+    ]
+
+    b = GraphBuilder((1, size, size, channels))
+    x = b.input
+    cur_size = size
+    for spec in block_specs:
+        if spec["kind"] == "binary":
+            h = b.binarize(x)
+            h = b.conv2d(
+                h,
+                rng.choice([-1.0, 1.0], (3, 3, channels, channels)).astype(np.float32),
+                padding=spec["padding"],
+                binary_weights=True,
+            )
+        else:
+            h = b.conv2d(
+                x,
+                rng.standard_normal((3, 3, channels, channels)).astype(np.float32)
+                * 0.2,
+                padding=Padding.SAME_ZERO,
+            )
+        if spec["bn_first"]:
+            h = b.batch_norm(h, _random_bn(rng, channels))
+            if spec["relu"]:
+                h = b.relu(h)
+        else:
+            if spec["relu"]:
+                h = b.relu(h)
+            h = b.batch_norm(h, _random_bn(rng, channels))
+        if spec["shortcut"]:
+            h = b.add(h, x)
+        x = h
+        if spec["pool_after"] and cur_size >= 4:
+            x = b.maxpool2d(x, 2, 2)
+            cur_size //= 2
+    x = b.global_avgpool(x)
+    graph = b.finish(x)
+    input_value = rng.standard_normal((1, size, size, channels)).astype(np.float32)
+    return graph, input_value
+
+
+class TestConverterFuzz:
+    @settings(max_examples=40, deadline=None)
+    @given(case=random_network())
+    def test_conversion_preserves_function(self, case):
+        graph, x = case
+        before = Executor(graph).run(x)
+        model = convert(graph)
+        model.graph.verify()
+        after = Executor(model.graph).run(x)
+        np.testing.assert_allclose(after, before, rtol=1e-3, atol=1e-3)
+
+    @settings(max_examples=20, deadline=None)
+    @given(case=random_network())
+    def test_no_emulation_ops_survive(self, case):
+        graph, _ = case
+        model = convert(graph)
+        ops = {n.op for n in model.graph.nodes}
+        # emulated binarized convolutions must all have been rewritten
+        for n in model.graph.nodes:
+            if n.op == "conv2d":
+                assert not n.attr("binary_weights")
+        assert "binarize" not in ops
+
+    @settings(max_examples=20, deadline=None)
+    @given(case=random_network())
+    def test_serialization_roundtrip_after_conversion(self, case, tmp_path_factory):
+        graph, x = case
+        model = convert(graph)
+        path = tmp_path_factory.mktemp("fuzz") / "m.lce"
+        from repro.graph.serialization import load_model, save_model
+
+        save_model(model.graph, path)
+        reloaded = load_model(path)
+        assert np.array_equal(
+            Executor(model.graph).run(x), Executor(reloaded).run(x)
+        )
+
+    @settings(max_examples=15, deadline=None)
+    @given(case=random_network())
+    def test_macs_invariant(self, case):
+        from repro.analysis.macs import count_macs
+
+        graph, _ = case
+        before = count_macs(graph)
+        after = count_macs(convert(graph).graph)
+        assert (before.binary, before.full_precision) == (
+            after.binary,
+            after.full_precision,
+        )

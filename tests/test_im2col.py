@@ -1,0 +1,163 @@
+"""Tests for repro.core.im2col: geometry and patch extraction."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.bitpack import pack_bits, unpack_bits
+from repro.core.im2col import (
+    conv_geometry,
+    effective_kernel,
+    im2col_float,
+    im2col_packed,
+    padded_tap_mask,
+)
+from repro.core.types import Padding
+
+
+class TestEffectiveKernel:
+    def test_no_dilation(self):
+        assert effective_kernel(3, 1) == 3
+
+    def test_dilation(self):
+        assert effective_kernel(3, 2) == 5
+        assert effective_kernel(5, 3) == 13
+
+
+class TestConvGeometry:
+    def test_same_stride1(self):
+        g = conv_geometry(8, 8, 3, 3, 1, 1, Padding.SAME_ZERO)
+        assert (g.out_h, g.out_w) == (8, 8)
+        assert (g.pad_top, g.pad_bottom, g.pad_left, g.pad_right) == (1, 1, 1, 1)
+
+    def test_same_stride2(self):
+        g = conv_geometry(7, 7, 3, 3, 2, 1, Padding.SAME_ONE)
+        assert (g.out_h, g.out_w) == (4, 4)
+
+    def test_valid(self):
+        g = conv_geometry(8, 8, 3, 3, 1, 1, Padding.VALID)
+        assert (g.out_h, g.out_w) == (6, 6)
+        assert g.pad_top == g.pad_left == 0
+
+    def test_valid_with_stride(self):
+        g = conv_geometry(9, 9, 3, 3, 2, 1, Padding.VALID)
+        assert (g.out_h, g.out_w) == (4, 4)
+
+    def test_asymmetric_same_padding(self):
+        # TF puts the extra pad at the bottom/right.
+        g = conv_geometry(8, 8, 2, 2, 1, 1, Padding.SAME_ZERO)
+        assert (g.pad_top, g.pad_bottom) == (0, 1)
+
+    def test_valid_too_small_raises(self):
+        with pytest.raises(ValueError):
+            conv_geometry(2, 2, 3, 3, 1, 1, Padding.VALID)
+
+    def test_rejects_non_positive(self):
+        with pytest.raises(ValueError):
+            conv_geometry(0, 8, 3, 3, 1, 1, Padding.VALID)
+
+    def test_dilated_same(self):
+        g = conv_geometry(8, 8, 3, 3, 1, 2, Padding.SAME_ZERO)
+        assert (g.out_h, g.out_w) == (8, 8)
+        assert g.pad_top + g.pad_bottom == 4
+
+
+def _brute_force_conv(x, w, stride, dilation, padding, pad_value):
+    """O(everything) float convolution used as ground truth."""
+    n, h, ww, cin = x.shape
+    kh, kw, _, cout = w.shape
+    geom = conv_geometry(h, ww, kh, kw, stride, dilation, padding)
+    xp = np.pad(
+        x,
+        ((0, 0), (geom.pad_top, geom.pad_bottom), (geom.pad_left, geom.pad_right), (0, 0)),
+        constant_values=pad_value,
+    )
+    out = np.zeros((n, geom.out_h, geom.out_w, cout), np.float64)
+    for b in range(n):
+        for oy in range(geom.out_h):
+            for ox in range(geom.out_w):
+                for ky in range(kh):
+                    for kx in range(kw):
+                        y = oy * stride + ky * dilation
+                        xx = ox * stride + kx * dilation
+                        out[b, oy, ox, :] += xp[b, y, xx, :] @ w[ky, kx, :, :]
+    return out.astype(np.float32)
+
+
+class TestIm2ColFloat:
+    @pytest.mark.parametrize("padding", [Padding.SAME_ZERO, Padding.SAME_ONE, Padding.VALID])
+    @pytest.mark.parametrize("stride", [1, 2])
+    def test_gemm_equals_brute_force(self, rng, padding, stride):
+        x = rng.standard_normal((2, 6, 7, 3)).astype(np.float32)
+        w = rng.standard_normal((3, 3, 3, 4)).astype(np.float32)
+        pad_value = 1.0 if padding is Padding.SAME_ONE else 0.0
+        patches, geom = im2col_float(x, 3, 3, stride, 1, padding, pad_value)
+        got = (patches @ w.reshape(-1, 4)).reshape(2, geom.out_h, geom.out_w, 4)
+        expected = _brute_force_conv(x, w, stride, 1, padding, pad_value)
+        np.testing.assert_allclose(got, expected, rtol=1e-5, atol=1e-5)
+
+    def test_dilation(self, rng):
+        x = rng.standard_normal((1, 9, 9, 2)).astype(np.float32)
+        w = rng.standard_normal((3, 3, 2, 2)).astype(np.float32)
+        patches, geom = im2col_float(x, 3, 3, 1, 2, Padding.SAME_ZERO, 0.0)
+        got = (patches @ w.reshape(-1, 2)).reshape(1, geom.out_h, geom.out_w, 2)
+        expected = _brute_force_conv(x, w, 1, 2, Padding.SAME_ZERO, 0.0)
+        np.testing.assert_allclose(got, expected, rtol=1e-5, atol=1e-5)
+
+    def test_patch_shape(self, rng):
+        x = rng.standard_normal((2, 8, 8, 5)).astype(np.float32)
+        patches, geom = im2col_float(x, 3, 3, 1, 1, Padding.SAME_ZERO)
+        assert patches.shape == (2 * 8 * 8, 9 * 5)
+
+    def test_rejects_non_nhwc(self, rng):
+        with pytest.raises(ValueError):
+            im2col_float(rng.standard_normal((8, 8, 5)), 3, 3)
+
+
+class TestIm2ColPacked:
+    def test_matches_float_one_padding(self, rng):
+        x = rng.choice([-1.0, 1.0], (1, 5, 5, 70)).astype(np.float32)
+        packed = pack_bits(x)
+        patches, geom = im2col_packed(packed, 3, 3, 1, 1, Padding.SAME_ONE)
+        assert patches.shape == (25, 9 * 2)
+        # Decode each tap's words and compare with the float im2col.
+        fpatches, _ = im2col_float(x, 3, 3, 1, 1, Padding.SAME_ONE, 1.0)
+        from repro.core.bitpack import PackedTensor
+
+        decoded = unpack_bits(
+            PackedTensor(patches.reshape(25, 9, 2).copy(), channels=70)
+        )
+        assert np.array_equal(decoded.reshape(25, -1), fpatches)
+
+    def test_spatial_padding_is_plus_one(self):
+        x = -np.ones((1, 2, 2, 64), np.float32)  # all -1 content
+        patches, _ = im2col_packed(pack_bits(x), 3, 3, 1, 1, Padding.SAME_ONE)
+        # Corner output pixel reads 5 padded taps: those words must be 0.
+        corner = patches[0].reshape(9, 1)
+        n_zero_words = int((corner == 0).sum())
+        assert n_zero_words == 5
+
+    def test_rejects_non_4d(self, rng):
+        x = rng.standard_normal((5, 5, 64)).astype(np.float32)
+        with pytest.raises(ValueError):
+            im2col_packed(pack_bits(x), 3, 3)
+
+
+class TestPaddedTapMask:
+    def test_interior_pixels_have_no_padded_taps(self):
+        geom = conv_geometry(5, 5, 3, 3, 1, 1, Padding.SAME_ZERO)
+        mask = padded_tap_mask(5, 5, 3, 3, 1, 1, geom)
+        interior = mask.reshape(5, 5, 9)[1:-1, 1:-1]
+        assert not interior.any()
+
+    def test_corner_pixel_padded_tap_count(self):
+        geom = conv_geometry(5, 5, 3, 3, 1, 1, Padding.SAME_ZERO)
+        mask = padded_tap_mask(5, 5, 3, 3, 1, 1, geom)
+        # top-left output pixel: first row and first column of taps padded.
+        assert mask.reshape(5, 5, 9)[0, 0].sum() == 5
+
+    def test_valid_padding_has_no_padded_taps(self):
+        geom = conv_geometry(5, 5, 3, 3, 1, 1, Padding.VALID)
+        mask = padded_tap_mask(5, 5, 3, 3, 1, 1, geom)
+        assert not mask.any()

@@ -1,0 +1,180 @@
+"""Tests for the graph IR: construction, rewrites, verification."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graph.ir import Graph, GraphError, Node, TensorSpec
+
+
+def _simple_graph():
+    g = Graph("g")
+    g.add_input("x", TensorSpec((1, 4, 4, 8)))
+    n1 = g.add_node("relu", ["x"], [TensorSpec((1, 4, 4, 8))], name="r1")
+    n2 = g.add_node("relu", [n1.outputs[0]], [TensorSpec((1, 4, 4, 8))], name="r2")
+    g.outputs = [n2.outputs[0]]
+    return g, n1, n2
+
+
+class TestTensorSpec:
+    def test_normalizes_shape_to_ints(self):
+        s = TensorSpec((np.int64(2), np.int64(3)))
+        assert s.shape == (2, 3)
+        assert all(isinstance(d, int) for d in s.shape)
+
+    def test_rejects_bad_dtype(self):
+        with pytest.raises(ValueError):
+            TensorSpec((1,), "float16")
+
+    def test_rejects_non_positive_dims(self):
+        with pytest.raises(ValueError):
+            TensorSpec((1, 0))
+
+    def test_num_elements(self):
+        assert TensorSpec((2, 3, 4)).num_elements == 24
+
+    def test_nbytes_float32(self):
+        assert TensorSpec((1, 2, 2, 8)).nbytes == 4 * 32
+
+    def test_nbytes_int8(self):
+        assert TensorSpec((1, 2, 2, 8), "int8").nbytes == 32
+
+    def test_nbytes_bitpacked_rounds_words(self):
+        # 70 channels -> 2 uint64 words per pixel.
+        assert TensorSpec((1, 2, 2, 70), "bitpacked").nbytes == 4 * 2 * 8
+
+    def test_bitpacked_is_32x_smaller(self):
+        f = TensorSpec((1, 8, 8, 256))
+        b = TensorSpec((1, 8, 8, 256), "bitpacked")
+        assert f.nbytes == 32 * b.nbytes
+
+
+class TestGraphConstruction:
+    def test_simple_graph_verifies(self):
+        g, _, _ = _simple_graph()
+        g.verify()
+
+    def test_duplicate_input_rejected(self):
+        g = Graph()
+        g.add_input("x", TensorSpec((1,)))
+        with pytest.raises(GraphError):
+            g.add_input("x", TensorSpec((1,)))
+
+    def test_unknown_input_tensor_rejected(self):
+        g = Graph()
+        with pytest.raises(GraphError):
+            g.add_node("relu", ["nope"], [TensorSpec((1,))])
+
+    def test_duplicate_node_name_rejected(self):
+        g, _, _ = _simple_graph()
+        with pytest.raises(GraphError):
+            g.add_node("relu", ["x"], [TensorSpec((1, 4, 4, 8))], name="r1")
+
+    def test_multi_output_tensor_naming(self):
+        g = Graph()
+        g.add_input("x", TensorSpec((1,)))
+        n = g.add_node("split", ["x"], [TensorSpec((1,)), TensorSpec((1,))], name="s")
+        assert n.outputs == ["s", "s:1"]
+
+    def test_fresh_names_unique(self):
+        g = Graph()
+        assert g.fresh_name("a") != g.fresh_name("a")
+
+
+class TestQueries:
+    def test_producer_and_consumers(self):
+        g, n1, n2 = _simple_graph()
+        assert g.producer(n1.outputs[0]) is n1
+        assert g.producer("x") is None
+        assert g.consumers(n1.outputs[0]) == [n2]
+        assert g.consumers(n2.outputs[0]) == []
+
+    def test_producer_unknown_tensor(self):
+        g, _, _ = _simple_graph()
+        with pytest.raises(KeyError):
+            g.producer("nope")
+
+    def test_node_lookup(self):
+        g, n1, _ = _simple_graph()
+        assert g.node("r1") is n1
+        with pytest.raises(KeyError):
+            g.node("nope")
+
+    def test_ops_by_type(self):
+        g, _, _ = _simple_graph()
+        assert len(g.ops_by_type("relu")) == 2
+        assert g.ops_by_type("conv2d") == []
+
+
+class TestRewrites:
+    def test_replace_uses(self):
+        g, n1, n2 = _simple_graph()
+        g.replace_uses(n1.outputs[0], "x")
+        assert n2.inputs == ["x"]
+
+    def test_replace_uses_updates_outputs(self):
+        g, _, n2 = _simple_graph()
+        g.replace_uses(n2.outputs[0], "x")
+        assert g.outputs == ["x"]
+
+    def test_replace_with_unknown_rejected(self):
+        g, n1, _ = _simple_graph()
+        with pytest.raises(GraphError):
+            g.replace_uses(n1.outputs[0], "nope")
+
+    def test_remove_node_requires_dead_outputs(self):
+        g, n1, _ = _simple_graph()
+        with pytest.raises(GraphError):
+            g.remove_node(n1)
+
+    def test_remove_dead_node(self):
+        g, n1, n2 = _simple_graph()
+        g.replace_uses(n2.outputs[0], n1.outputs[0])
+        g.remove_node(n2)
+        assert len(g) == 1
+        g.verify()
+
+    def test_insert_node_keeps_topological_order(self):
+        g, n1, n2 = _simple_graph()
+        inserted = g.insert_node(
+            1, "relu", [n1.outputs[0]], [TensorSpec((1, 4, 4, 8))], name="mid"
+        )
+        n2.inputs = [inserted.outputs[0]]
+        assert [n.name for n in g.nodes] == ["r1", "mid", "r2"]
+        g.verify()
+
+
+class TestVerify:
+    def test_detects_non_topological_order(self):
+        g, n1, n2 = _simple_graph()
+        g.nodes.reverse()
+        with pytest.raises(GraphError, match="topological"):
+            g.verify()
+
+    def test_detects_missing_output(self):
+        g, _, _ = _simple_graph()
+        g.outputs = ["missing"]
+        with pytest.raises(GraphError):
+            g.verify()
+
+    def test_detects_dangling_spec(self):
+        g, _, _ = _simple_graph()
+        g.tensors["orphan"] = TensorSpec((1,))
+        with pytest.raises(GraphError, match="no producer"):
+            g.verify()
+
+
+class TestParamBytes:
+    def test_param_nbytes(self):
+        g = Graph()
+        g.add_input("x", TensorSpec((1, 4)))
+        g.add_node(
+            "dense", ["x"], [TensorSpec((1, 2))],
+            params={"weights": np.zeros((4, 2), np.float32)},
+        )
+        assert g.param_nbytes() == 4 * 2 * 4
+
+    def test_node_param_nbytes_skips_non_arrays(self):
+        n = Node("n", "op", [], [], params={"weights": np.zeros(4, np.float32)})
+        assert n.param_nbytes() == 16

@@ -1,0 +1,194 @@
+"""Tests for pooling, batch norm, dense, and elementwise kernels."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.types import Activation, Padding
+from repro.kernels.arithmetic import add, concat, mul, pad2d, relu, relu6, softmax
+from repro.kernels.batchnorm import (
+    BatchNormParams,
+    batch_norm,
+    fold_into_conv,
+    fold_to_multiplier_bias,
+)
+from repro.kernels.conv2d import conv2d_float
+from repro.kernels.dense import dense_float, dense_int8
+from repro.kernels.pool import avgpool2d, global_avgpool, maxpool2d
+from repro.kernels.quantization import QuantParams, quantize, quantize_weights_per_channel
+
+
+class TestPooling:
+    def test_maxpool_brute_force(self, rng):
+        x = rng.standard_normal((1, 4, 4, 2)).astype(np.float32)
+        out = maxpool2d(x, 2, 2)
+        for i in range(2):
+            for j in range(2):
+                expected = x[0, 2 * i : 2 * i + 2, 2 * j : 2 * j + 2].max(axis=(0, 1))
+                assert np.array_equal(out[0, i, j], expected)
+
+    def test_maxpool_same_padding_ignores_pad(self):
+        x = np.full((1, 3, 3, 1), -7.0, np.float32)
+        out = maxpool2d(x, 2, 2, stride=2, padding=Padding.SAME_ZERO)
+        assert np.all(out == -7.0)  # -inf padding never wins
+
+    def test_avgpool_brute_force(self, rng):
+        x = rng.standard_normal((1, 4, 4, 3)).astype(np.float32)
+        out = avgpool2d(x, 2, 2)
+        expected = x.reshape(1, 2, 2, 2, 2, 3).mean(axis=(2, 4))
+        np.testing.assert_allclose(out, expected.astype(np.float32), rtol=1e-5)
+
+    def test_avgpool_same_counts_valid_only(self):
+        # TF semantics: the average at the border divides by the number of
+        # valid elements, not the window size.
+        x = np.ones((1, 3, 3, 1), np.float32)
+        out = avgpool2d(x, 2, 2, stride=2, padding=Padding.SAME_ZERO)
+        np.testing.assert_allclose(out, 1.0)
+
+    def test_global_avgpool(self, rng):
+        x = rng.standard_normal((2, 5, 5, 3)).astype(np.float32)
+        np.testing.assert_allclose(
+            global_avgpool(x), x.mean(axis=(1, 2)), rtol=1e-6
+        )
+
+    def test_pool_rejects_non_4d(self, rng):
+        with pytest.raises(ValueError):
+            maxpool2d(rng.standard_normal((4, 4, 2)), 2, 2)
+        with pytest.raises(ValueError):
+            avgpool2d(rng.standard_normal((4, 4, 2)), 2, 2)
+        with pytest.raises(ValueError):
+            global_avgpool(rng.standard_normal((4, 4)))
+
+
+class TestBatchNorm:
+    def _bn(self, rng, c):
+        return BatchNormParams(
+            gamma=rng.uniform(0.5, 1.5, c).astype(np.float32),
+            beta=rng.standard_normal(c).astype(np.float32),
+            mean=rng.standard_normal(c).astype(np.float32),
+            variance=rng.uniform(0.1, 2.0, c).astype(np.float32),
+        )
+
+    def test_matches_definition(self, rng):
+        bn = self._bn(rng, 4)
+        x = rng.standard_normal((2, 3, 3, 4)).astype(np.float32)
+        expected = bn.gamma * (x - bn.mean) / np.sqrt(bn.variance + bn.epsilon) + bn.beta
+        np.testing.assert_allclose(batch_norm(x, bn), expected, rtol=1e-4, atol=1e-5)
+
+    def test_identity_params(self, rng):
+        x = rng.standard_normal((1, 2, 2, 3)).astype(np.float32)
+        out = batch_norm(x, BatchNormParams.identity(3))
+        np.testing.assert_allclose(out, x, rtol=1e-3, atol=1e-4)
+
+    def test_fold_to_multiplier_bias(self, rng):
+        bn = self._bn(rng, 5)
+        x = rng.standard_normal((3, 5)).astype(np.float32)
+        m, b = fold_to_multiplier_bias(bn)
+        np.testing.assert_allclose(x * m + b, batch_norm(x, bn), rtol=1e-5, atol=1e-6)
+
+    def test_fold_into_conv_equivalence(self, rng):
+        bn = self._bn(rng, 4)
+        x = rng.standard_normal((1, 6, 6, 3)).astype(np.float32)
+        w = rng.standard_normal((3, 3, 3, 4)).astype(np.float32)
+        bias = rng.standard_normal(4).astype(np.float32)
+        expected = batch_norm(conv2d_float(x, w, bias), bn)
+        fw, fb = fold_into_conv(w, bias, bn)
+        np.testing.assert_allclose(
+            conv2d_float(x, fw, fb), expected, rtol=1e-3, atol=1e-4
+        )
+
+    def test_rejects_mismatched_shapes(self):
+        with pytest.raises(ValueError):
+            BatchNormParams(
+                gamma=np.ones(3), beta=np.ones(4), mean=np.zeros(3), variance=np.ones(3)
+            )
+
+    def test_rejects_negative_variance(self):
+        with pytest.raises(ValueError):
+            BatchNormParams(
+                gamma=np.ones(2), beta=np.zeros(2), mean=np.zeros(2),
+                variance=np.array([1.0, -0.1]),
+            )
+
+
+class TestDense:
+    def test_matmul(self, rng):
+        x = rng.standard_normal((4, 6)).astype(np.float32)
+        w = rng.standard_normal((6, 3)).astype(np.float32)
+        b = rng.standard_normal(3).astype(np.float32)
+        np.testing.assert_allclose(dense_float(x, w, b), x @ w + b, rtol=1e-5)
+
+    def test_activation(self, rng):
+        x = rng.standard_normal((4, 6)).astype(np.float32)
+        w = rng.standard_normal((6, 3)).astype(np.float32)
+        out = dense_float(x, w, activation=Activation.RELU)
+        assert np.all(out >= 0)
+
+    def test_rejects_shape_mismatch(self, rng):
+        with pytest.raises(ValueError):
+            dense_float(rng.standard_normal((4, 5)), rng.standard_normal((6, 3)))
+
+    def test_int8_tracks_float(self, rng):
+        x = rng.standard_normal((8, 32)).astype(np.float32)
+        w = rng.standard_normal((32, 10)).astype(np.float32)
+        ref = dense_float(x, w)
+        in_p = QuantParams.from_range(float(x.min()), float(x.max()))
+        out_p = QuantParams.from_range(float(ref.min()), float(ref.max()))
+        wq, scales = quantize_weights_per_channel(w)
+        from repro.kernels.quantization import dequantize
+
+        got = dequantize(dense_int8(quantize(x, in_p), wq, in_p, scales, out_p), out_p)
+        rel = np.abs(got - ref).max() / np.abs(ref).max()
+        assert rel < 0.05
+
+    def test_int8_rejects_float(self, rng):
+        with pytest.raises(TypeError):
+            dense_int8(
+                rng.standard_normal((2, 4)).astype(np.float32),
+                np.zeros((4, 2), np.int8),
+                QuantParams(0.1), np.ones(2), QuantParams(0.1),
+            )
+
+
+class TestArithmetic:
+    def test_add_mul(self, rng):
+        a = rng.standard_normal((2, 3)).astype(np.float32)
+        b = rng.standard_normal((2, 3)).astype(np.float32)
+        np.testing.assert_allclose(add(a, b), a + b)
+        np.testing.assert_allclose(mul(a, b), a * b)
+
+    def test_relu_family(self):
+        x = np.array([-2.0, 0.0, 3.0, 10.0], np.float32)
+        assert np.array_equal(relu(x), [0, 0, 3, 10])
+        assert np.array_equal(relu6(x), [0, 0, 3, 6])
+
+    def test_softmax_properties(self, rng):
+        x = rng.standard_normal((4, 7)).astype(np.float32) * 10
+        p = softmax(x)
+        np.testing.assert_allclose(p.sum(axis=-1), 1.0, rtol=1e-5)
+        assert np.all(p >= 0)
+
+    def test_softmax_stability(self):
+        x = np.array([[1000.0, 1000.0]], np.float32)
+        p = softmax(x)
+        np.testing.assert_allclose(p, [[0.5, 0.5]])
+
+    def test_pad2d(self, rng):
+        x = rng.standard_normal((1, 2, 2, 1)).astype(np.float32)
+        out = pad2d(x, (1, 1), (0, 2), value=9.0)
+        assert out.shape == (1, 4, 4, 1)
+        assert out[0, 0, 0, 0] == 9.0
+
+    def test_pad2d_rejects_non_4d(self, rng):
+        with pytest.raises(ValueError):
+            pad2d(rng.standard_normal((2, 2)), (1, 1), (1, 1))
+
+    def test_concat(self, rng):
+        a = rng.standard_normal((1, 2, 2, 3)).astype(np.float32)
+        b = rng.standard_normal((1, 2, 2, 5)).astype(np.float32)
+        assert concat([a, b]).shape == (1, 2, 2, 8)
+
+    def test_concat_rejects_empty(self):
+        with pytest.raises(ValueError):
+            concat([])

@@ -1,0 +1,85 @@
+"""Tests for the op-level profiler and its aggregations."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.converter import convert
+from repro.hw.device import DeviceModel
+from repro.profiling import (
+    layer_stacks,
+    op_class_shares,
+    profile_graph,
+    quicknet_table4_rows,
+)
+from repro.zoo import quicknet
+
+
+@pytest.fixture(scope="module")
+def quicknet_profiles():
+    model = convert(quicknet("small", input_size=64), in_place=True)
+    return profile_graph(DeviceModel.rpi4b(), model.graph), model.graph
+
+
+class TestProfileGraph:
+    def test_one_profile_per_node(self, quicknet_profiles):
+        profiles, graph = quicknet_profiles
+        assert len(profiles) == len(graph)
+        assert [p.name for p in profiles] == [n.name for n in graph.nodes]
+
+    def test_binary_flag(self, quicknet_profiles):
+        profiles, _ = quicknet_profiles
+        assert any(p.is_binary for p in profiles)
+        assert any(not p.is_binary for p in profiles)
+        for p in profiles:
+            assert p.is_binary == p.op.startswith("lce_")
+
+    def test_measure_records_wall_clock(self):
+        model = convert(quicknet("small", input_size=32), in_place=True)
+        profiles = profile_graph(
+            DeviceModel.pixel1(), model.graph, measure=True
+        )
+        assert all(p.measured_s is not None and p.measured_s >= 0 for p in profiles)
+
+    def test_no_measure_leaves_none(self, quicknet_profiles):
+        profiles, _ = quicknet_profiles
+        assert all(p.measured_s is None for p in profiles)
+
+
+class TestAggregations:
+    def test_op_class_shares_sum_to_100(self, quicknet_profiles):
+        profiles, _ = quicknet_profiles
+        shares = op_class_shares(profiles)
+        assert sum(shares.values()) == pytest.approx(100.0)
+
+    def test_table4_rows_sum_to_100(self, quicknet_profiles):
+        profiles, _ = quicknet_profiles
+        rows = quicknet_table4_rows(profiles)
+        assert sum(r.share_percent for r in rows) == pytest.approx(100.0)
+        assert {r.op_class for r in rows} == {
+            "LceQuantize",
+            "LceBConv2d (accumulation loop)",
+            "LceBConv2d (output transformation)",
+            "Full precision Conv2D",
+            "Full precision Add",
+            "All other full precision",
+        }
+
+    def test_accumulation_loop_dominates(self, quicknet_profiles):
+        profiles, _ = quicknet_profiles
+        rows = {r.op_class: r.share_percent for r in quicknet_table4_rows(profiles)}
+        assert rows["LceBConv2d (accumulation loop)"] == max(rows.values())
+
+    def test_layer_stacks_cover_total(self, quicknet_profiles):
+        profiles, _ = quicknet_profiles
+        stacks = layer_stacks(profiles)
+        stack_total = sum(s["binary_s"] + s["full_precision_s"] for s in stacks)
+        profile_total = sum(p.simulated_s for p in profiles)
+        assert stack_total == pytest.approx(profile_total)
+
+    def test_one_stack_per_mac_layer(self, quicknet_profiles):
+        profiles, graph = quicknet_profiles
+        mac_ops = ("conv2d", "lce_bconv2d", "depthwise_conv2d", "dense")
+        n_mac = sum(1 for n in graph.nodes if n.op in mac_ops)
+        assert len(layer_stacks(profiles)) == n_mac

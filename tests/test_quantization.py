@@ -1,0 +1,108 @@
+"""Tests for int8 quantization parameters."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.kernels.quantization import (
+    INT8_MAX,
+    INT8_MIN,
+    QuantParams,
+    dequantize,
+    quantize,
+    quantize_weights_per_channel,
+    requantize,
+)
+
+
+class TestQuantParams:
+    def test_from_range_covers_interval(self):
+        p = QuantParams.from_range(-1.0, 3.0)
+        assert quantize(np.array(-1.0), p) >= INT8_MIN
+        assert quantize(np.array(3.0), p) <= INT8_MAX
+
+    def test_from_range_straddles_zero(self):
+        # Even an all-positive range must represent 0 exactly (TFLite rule).
+        p = QuantParams.from_range(2.0, 6.0)
+        z = quantize(np.array(0.0), p)
+        np.testing.assert_allclose(dequantize(z, p), 0.0, atol=p.scale)
+
+    def test_degenerate_range(self):
+        p = QuantParams.from_range(0.0, 0.0)
+        assert p.scale > 0
+
+    def test_rejects_non_positive_scale(self):
+        with pytest.raises(ValueError):
+            QuantParams(scale=0.0)
+        with pytest.raises(ValueError):
+            QuantParams(scale=-1.0)
+
+    def test_rejects_out_of_range_zero_point(self):
+        with pytest.raises(ValueError):
+            QuantParams(scale=1.0, zero_point=200)
+
+
+class TestQuantizeDequantize:
+    @given(seed=st.integers(0, 2**32 - 1))
+    def test_roundtrip_error_bounded_by_half_scale(self, seed):
+        rng = np.random.default_rng(seed)
+        x = rng.uniform(-4, 4, 100).astype(np.float32)
+        p = QuantParams.from_range(-4, 4)
+        err = np.abs(dequantize(quantize(x, p), p) - x)
+        assert err.max() <= p.scale * 0.51
+
+    def test_clipping(self):
+        p = QuantParams(scale=0.1, zero_point=0)
+        q = quantize(np.array([1e6, -1e6]), p)
+        assert q[0] == INT8_MAX and q[1] == INT8_MIN
+
+    def test_dtype(self):
+        p = QuantParams(scale=0.1)
+        assert quantize(np.zeros(3), p).dtype == np.int8
+        assert dequantize(np.zeros(3, np.int8), p).dtype == np.float32
+
+
+class TestPerChannelWeights:
+    def test_scales_per_output_channel(self, rng):
+        w = rng.standard_normal((3, 3, 4, 8))
+        q, scales = quantize_weights_per_channel(w)
+        assert scales.shape == (8,)
+        assert q.dtype == np.int8
+
+    def test_max_value_maps_to_127(self, rng):
+        w = rng.standard_normal((3, 3, 2, 4))
+        q, scales = quantize_weights_per_channel(w)
+        for c in range(4):
+            assert np.abs(q[..., c]).max() == INT8_MAX
+
+    def test_reconstruction_error(self, rng):
+        w = rng.standard_normal((3, 3, 4, 8))
+        q, scales = quantize_weights_per_channel(w)
+        err = np.abs(q * scales - w)
+        assert err.max() < np.abs(w).max() / 100
+
+    def test_zero_channel_handled(self):
+        w = np.zeros((1, 1, 2, 2))
+        q, scales = quantize_weights_per_channel(w)
+        assert np.all(q == 0)
+        assert np.all(scales > 0)
+
+
+class TestRequantize:
+    def test_round_and_clip(self):
+        out_p = QuantParams(scale=1.0, zero_point=10)
+        acc = np.array([0, 50, 100000, -100000], np.int64)
+        q = requantize(acc, 1.0, out_p)
+        assert q[0] == 10
+        assert q[1] == 60
+        assert q[2] == INT8_MAX
+        assert q[3] == INT8_MIN
+
+    def test_per_channel_effective_scale(self):
+        out_p = QuantParams(scale=1.0, zero_point=0)
+        acc = np.array([[100, 100]], np.int64)
+        q = requantize(acc, np.array([0.5, 0.25]), out_p)
+        assert q[0, 0] == 50 and q[0, 1] == 25

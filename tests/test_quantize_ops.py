@@ -1,0 +1,50 @@
+"""Tests for LceQuantize / LceDequantize."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.bitpack import PackedTensor
+from repro.core.quantize_ops import lce_dequantize, lce_quantize
+
+
+class TestLceQuantize:
+    @given(seed=st.integers(0, 2**32 - 1), channels=st.integers(1, 100))
+    def test_roundtrip_is_sign(self, seed, channels):
+        rng = np.random.default_rng(seed)
+        x = rng.standard_normal((2, 3, channels)).astype(np.float32)
+        assert np.array_equal(
+            lce_dequantize(lce_quantize(x)), np.where(x < 0, -1.0, 1.0)
+        )
+
+    def test_idempotent_on_sign_data(self, rng):
+        x = rng.choice([-1.0, 1.0], (2, 2, 64)).astype(np.float32)
+        once = lce_quantize(x)
+        twice = lce_quantize(lce_dequantize(once))
+        assert once == twice
+
+    def test_zero_is_positive(self):
+        packed = lce_quantize(np.zeros((1, 32), np.float32))
+        assert np.all(lce_dequantize(packed) == 1.0)
+
+    def test_returns_packed_tensor(self, rng):
+        x = rng.standard_normal((1, 4, 4, 32)).astype(np.float32)
+        out = lce_quantize(x)
+        assert isinstance(out, PackedTensor)
+        assert out.shape == (1, 4, 4, 32)
+
+    def test_rejects_bad_dtype(self):
+        with pytest.raises(TypeError):
+            lce_quantize(np.array([["a", "b"]]))
+
+    def test_int_input_accepted(self):
+        out = lce_dequantize(lce_quantize(np.array([[3, -3, 0, -1]])))
+        assert np.array_equal(out, [[1.0, -1.0, 1.0, -1.0]])
+
+    def test_size_reduction_factor_32(self, rng):
+        x = rng.standard_normal((1, 16, 16, 256)).astype(np.float32)
+        packed = lce_quantize(x)
+        assert x.nbytes == 32 * packed.nbytes

@@ -1,0 +1,85 @@
+"""Tests for the roofline analysis and experiment reporting helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.reporting import ascii_scatter, format_table
+from repro.hw.device import DeviceModel
+from repro.hw.roofline import conv_roofline, intensity_advantage
+
+
+class TestRoofline:
+    def test_binary_has_highest_intensity(self):
+        points = conv_roofline(DeviceModel.pixel1(), 14, 14, 256)
+        assert (
+            points["binary"].arithmetic_intensity
+            > points["int8"].arithmetic_intensity
+            > points["float32"].arithmetic_intensity
+        )
+
+    def test_intensity_advantage_grows_with_depth(self):
+        """As weights/patches dominate traffic over the float output, the
+        binary intensity advantage approaches the 32x storage ratio."""
+        dev = DeviceModel.pixel1()
+        shallow = intensity_advantage(dev, in_h=14, in_w=14, channels=32)
+        deep = intensity_advantage(dev, in_h=14, in_w=14, channels=256, kernel=5)
+        assert deep > shallow
+        assert deep < 32.0
+
+    def test_attainable_respects_roofline(self):
+        dev = DeviceModel.pixel1()
+        for p in conv_roofline(dev, 28, 28, 128).values():
+            attainable = p.attainable_macs_per_cycle(dev)
+            assert attainable <= p.sustained_macs_per_cycle
+            if p.is_compute_bound(dev):
+                assert attainable == p.sustained_macs_per_cycle
+
+    def test_balance_point_scales_with_peak(self):
+        dev = DeviceModel.pixel1()
+        points = conv_roofline(dev, 28, 28, 128)
+        # The faster the kernel, the more intensity it needs to stay fed.
+        assert points["binary"].balance_point(dev) > points["float32"].balance_point(dev)
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        text = format_table(["a", "bb"], [("x", 1.0), ("yy", 22.5)], title="t")
+        lines = text.split("\n")
+        assert lines[0] == "t"
+        assert len({len(l) for l in lines[1:]}) <= 2  # header/sep/rows align
+
+    def test_float_formatting(self):
+        text = format_table(["v"], [(0.12345,), (123.456,), (12.3,)])
+        assert "0.1234" in text or "0.1235" in text
+        assert "123" in text
+
+
+class TestAsciiScatter:
+    def test_contains_markers_and_legend(self):
+        plot = ascii_scatter(
+            {"float32": [(1e6, 1.0), (1e8, 100.0)], "binary": [(1e6, 0.1)]},
+            x_label="MACs", y_label="ms",
+        )
+        assert "F" in plot and "B" in plot
+        assert "F=float32" in plot
+        assert "> MACs (log)" in plot
+
+    def test_single_point(self):
+        plot = ascii_scatter({"one": [(10.0, 10.0)]}, log_x=False, log_y=False)
+        assert "O" in plot
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            ascii_scatter({})
+
+    def test_monotone_series_renders_monotone(self):
+        plot = ascii_scatter(
+            {"s": [(1.0, 1.0), (10.0, 10.0), (100.0, 100.0)]},
+            width=30, height=10,
+        )
+        rows = [i for i, line in enumerate(plot.split("\n")) if "S" in line]
+        cols = [line.index("S") for line in plot.split("\n") if "S" in line]
+        # increasing x (columns) appears at decreasing rows (higher y)
+        assert rows == sorted(rows)
+        assert cols == sorted(cols, reverse=True)

@@ -1,0 +1,131 @@
+"""Tests for the model summary, architecture search, and CLI tooling."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.macs import count_macs
+from repro.analysis.search import (
+    build_quicknet_config,
+    evaluate_candidate,
+    search,
+)
+from repro.analysis.summary import format_summary, model_summary
+from repro.cli import main as cli_main
+from repro.converter import convert
+from repro.hw.device import DeviceModel
+from repro.zoo import quicknet
+
+
+class TestSummary:
+    def test_one_row_per_node(self):
+        g = quicknet("small", input_size=64)
+        rows = model_summary(g)
+        assert len(rows) == len(g)
+
+    def test_totals_match_count_macs(self):
+        g = quicknet("small", input_size=64)
+        rows = model_summary(g)
+        total_binary = sum(r.macs.binary for r in rows)
+        total_fp = sum(r.macs.full_precision for r in rows)
+        macs = count_macs(g)
+        assert (total_binary, total_fp) == (macs.binary, macs.full_precision)
+
+    def test_param_bytes_match_graph(self):
+        g = quicknet("small", input_size=64)
+        assert sum(r.param_bytes for r in model_summary(g)) == g.param_nbytes()
+
+    def test_format_contains_binary_share(self):
+        g = convert(quicknet("small", input_size=64), in_place=True).graph
+        text = format_summary(g)
+        assert "% binary" in text
+        assert "lce_bconv2d" in text
+
+
+class TestSearch:
+    SMALL = 32  # keep candidate builds fast
+
+    def test_candidate_builder_matches_table3_config(self):
+        g = build_quicknet_config((4, 4, 4, 4), (32, 64, 256, 512), input_size=224)
+        reference = quicknet("small", input_size=224)
+        assert count_macs(g).binary == count_macs(reference).binary
+
+    def test_candidate_validation(self):
+        with pytest.raises(ValueError):
+            build_quicknet_config((4, 4), (32, 64, 128))
+
+    def test_evaluate_candidate(self):
+        r = evaluate_candidate(
+            (2, 2, 2, 2), (32, 64, 128, 256), DeviceModel.pixel1(),
+            input_size=self.SMALL,
+        )
+        assert r.latency_ms > 0
+        assert r.binary_macs > 0
+        assert "N=(2, 2, 2, 2)" in r.name
+
+    def test_search_respects_budget_and_ranks_by_capacity(self):
+        results = search(
+            budget_ms=50.0,
+            device=DeviceModel.pixel1(),
+            layer_choices=((2, 2, 2, 2), (4, 4, 4, 4)),
+            filter_choices=((32, 64, 128, 256),),
+            input_size=self.SMALL,
+        )
+        assert results, "both candidates fit a generous budget"
+        assert all(r.latency_ms <= 50.0 for r in results)
+        assert results[0].binary_macs == max(r.binary_macs for r in results)
+
+    def test_tight_budget_filters(self):
+        results = search(
+            budget_ms=1e-6,
+            device=DeviceModel.pixel1(),
+            layer_choices=((2, 2, 2, 2),),
+            filter_choices=((32, 64, 128, 256),),
+            input_size=self.SMALL,
+        )
+        assert results == []
+
+    def test_budget_validation(self):
+        with pytest.raises(ValueError):
+            search(budget_ms=0)
+
+
+class TestCLI:
+    def test_benchmark(self, capsys):
+        assert cli_main([
+            "benchmark", "--model", "quicknet_small", "--input-size", "64",
+            "--device", "pixel1", "--threads", "2",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "quicknet_small on pixel1 (2 threads)" in out
+        assert "ms" in out
+
+    def test_profile(self, capsys):
+        assert cli_main([
+            "profile", "--model", "quicknet_small", "--input-size", "64",
+            "--device", "rpi4b",
+        ]) == 0
+        assert "LceBConv2d (accumulation loop)" in capsys.readouterr().out
+
+    def test_summarize(self, capsys):
+        assert cli_main([
+            "summarize", "--model", "quicknet_small", "--input-size", "64",
+            "--converted",
+        ]) == 0
+        assert "% binary" in capsys.readouterr().out
+
+    def test_convert(self, tmp_path, capsys):
+        out_file = tmp_path / "m.lce"
+        assert cli_main([
+            "convert", "--model", "quicknet_small", "--input-size", "64",
+            "--output", str(out_file),
+        ]) == 0
+        assert out_file.exists()
+        from repro.graph.serialization import load_model
+
+        load_model(out_file).verify()
+
+    def test_unknown_model_rejected(self):
+        with pytest.raises(SystemExit):
+            cli_main(["benchmark", "--model", "resnet9000"])
