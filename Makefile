@@ -1,9 +1,17 @@
 # Convenience targets for the LCE reproduction.
 
-.PHONY: test bench experiments appendix extensions examples all
+.PHONY: test test-fast test-slow bench experiments appendix extensions examples all
 
 test:
 	pytest tests/
+
+# Skip the opt-in slow grids and the benchmark suite entirely.
+test-fast:
+	pytest tests/ -m "not slow"
+
+# Only the expensive cells: full zoo parity grid, long stress runs.
+test-slow:
+	pytest tests/ -m slow
 
 bench:
 	pytest benchmarks/ --benchmark-only

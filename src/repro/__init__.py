@@ -10,6 +10,9 @@ on NumPy only, every system the paper describes:
   (the TFLite-equivalent ops a mixed-precision BNN needs).
 - :mod:`repro.graph` — a small graph IR, executor and model serialization
   with 1-bit packed binary weights.
+- :mod:`repro.runtime` — the serving path: compiled execution plans with a
+  prepacked-weight cache, threaded binary GEMM and batched execution
+  (:class:`repro.runtime.Engine`), bit-identical to the reference executor.
 - :mod:`repro.converter` — the MLIR-converter analog: a pass pipeline that
   turns training graphs into optimized inference graphs.
 - :mod:`repro.training` — latent-weight / straight-through-estimator
@@ -33,9 +36,18 @@ Quickstart::
     model = convert(training_graph)            # training graph -> LCE model
     out = Executor(model.graph).run(np.random.randn(1, 224, 224, 3))
     latency_ms = DeviceModel.pixel1().graph_latency_ms(model.graph)
+
+Serving (batched, threaded, bit-identical to the executor)::
+
+    from repro import Engine
+
+    with Engine(model, num_threads=4, max_batch_size=8) as engine:
+        outs = engine.run_many([x1, x2, x3])   # coalesced into one plan run
+        print(engine.stats().throughput_samples_per_s)
 """
 
 from repro.converter import convert
+from repro.runtime import Engine
 from repro.version import __version__
 
-__all__ = ["convert", "__version__"]
+__all__ = ["Engine", "convert", "__version__"]

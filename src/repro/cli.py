@@ -3,23 +3,31 @@
 The deployment-side tooling a released inference engine ships with::
 
     python -m repro benchmark --model quicknet --device pixel1 --threads 4
+    python -m repro benchmark --model quicknet --engine --threads 4 --batch 8
     python -m repro profile   --model binarydensenet28 --device rpi4b
     python -m repro summarize --model quicknet_small
     python -m repro convert   --model quicknet --output model.lce
     python -m repro experiments [--appendix|--extensions]
+
+``--engine`` switches benchmark/profile from the analytical device model to
+*measured* wall-clock through :class:`repro.runtime.Engine` (compiled
+plans, prepacked-weight cache, threaded BGEMM, batched execution).
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+import time
+
+import numpy as np
 
 from repro.analysis.summary import format_summary
 from repro.converter import convert
 from repro.graph.serialization import save_model
 from repro.hw.device import DeviceModel
 from repro.hw.latency import graph_latency
-from repro.profiling import profile_graph, quicknet_table4_rows
+from repro.profiling import profile_engine, profile_graph, quicknet_table4_rows
 from repro.zoo import MODEL_REGISTRY, build_model
 
 
@@ -45,8 +53,17 @@ def _build_converted(args):
     return convert(graph, in_place=True)
 
 
+def _engine_input(graph, batch: int) -> np.ndarray:
+    spec = graph.tensors[graph.inputs[0]]
+    shape = (spec.shape[0] * batch,) + tuple(spec.shape[1:])
+    rng = np.random.default_rng(0)
+    return rng.standard_normal(shape).astype(np.float32)
+
+
 def cmd_benchmark(args) -> int:
     model = _build_converted(args)
+    if args.engine:
+        return _benchmark_engine(args, model)
     device = DeviceModel.by_name(args.device)
     latency = graph_latency(device, model.graph, threads=args.threads)
     print(
@@ -56,12 +73,61 @@ def cmd_benchmark(args) -> int:
     return 0
 
 
+def _benchmark_engine(args, model) -> int:
+    from repro.runtime import Engine
+
+    if args.threads < 1:
+        print("benchmark --engine: --threads must be >= 1", file=sys.stderr)
+        return 2
+    if args.batch < 1:
+        print("benchmark --engine: --batch must be >= 1", file=sys.stderr)
+        return 2
+    if args.repeats < 1:
+        print("benchmark --engine: --repeats must be >= 1", file=sys.stderr)
+        return 2
+    with Engine(
+        model, num_threads=args.threads, max_batch_size=args.batch
+    ) as engine:
+        x = _engine_input(engine.graph, args.batch)
+        engine.run(x)  # warm-up: compiles the plan, fills the weight cache
+        start = time.perf_counter()
+        for _ in range(args.repeats):
+            engine.run(x)
+        elapsed = time.perf_counter() - start
+        stats = engine.stats()
+
+    per_batch_ms = elapsed / args.repeats * 1e3
+    print(
+        f"{args.model} via Engine ({args.threads} thread"
+        f"{'s' if args.threads > 1 else ''}, batch {args.batch}): "
+        f"{per_batch_ms:.2f} ms/batch, {per_batch_ms / args.batch:.2f} ms/sample"
+    )
+    print(
+        f"  param cache: {stats.param_cache_hits} hits / "
+        f"{stats.param_cache_misses} misses; "
+        f"plan cache hit rate {stats.plan_cache_hit_rate:.0%}; "
+        f"batch histogram {dict(sorted(stats.batch_histogram.items()))}"
+    )
+    return 0
+
+
 def cmd_profile(args) -> int:
     model = _build_converted(args)
     device = DeviceModel.by_name(args.device)
-    profiles = profile_graph(device, model.graph)
-    total = sum(p.simulated_s for p in profiles)
-    print(f"{args.model} on {args.device}: {total * 1e3:.1f} ms\n")
+    if args.engine:
+        from repro.runtime import Engine
+
+        if args.threads < 1:
+            print("profile --engine: --threads must be >= 1", file=sys.stderr)
+            return 2
+        with Engine(model, num_threads=args.threads) as engine:
+            profiles = profile_engine(device, engine)
+        total = sum(p.measured_s or 0.0 for p in profiles)
+        print(f"{args.model} via Engine (measured): {total * 1e3:.1f} ms\n")
+    else:
+        profiles = profile_graph(device, model.graph)
+        total = sum(p.simulated_s for p in profiles)
+        print(f"{args.model} on {args.device}: {total * 1e3:.1f} ms\n")
     for row in quicknet_table4_rows(profiles):
         print(f"  {row.op_class:<38} {row.share_percent:6.2f}%")
     return 0
@@ -109,11 +175,27 @@ def build_parser() -> argparse.ArgumentParser:
     _add_model_arg(p)
     _add_device_arg(p)
     p.add_argument("--threads", type=int, default=1)
+    p.add_argument(
+        "--engine", action="store_true",
+        help="measure wall-clock through repro.runtime.Engine instead of "
+        "estimating with the device model",
+    )
+    p.add_argument(
+        "--batch", type=int, default=1, help="batch size for --engine runs"
+    )
+    p.add_argument(
+        "--repeats", type=int, default=3, help="timed iterations for --engine runs"
+    )
     p.set_defaults(fn=cmd_benchmark)
 
     p = sub.add_parser("profile", help="per-operator latency breakdown")
     _add_model_arg(p)
     _add_device_arg(p)
+    p.add_argument("--threads", type=int, default=1)
+    p.add_argument(
+        "--engine", action="store_true",
+        help="measure per-node wall-clock through repro.runtime.Engine",
+    )
     p.set_defaults(fn=cmd_profile)
 
     p = sub.add_parser("summarize", help="per-layer shapes, params and MACs")

@@ -25,6 +25,7 @@ import numpy as np
 
 from repro.core.bgemm import bgemm_blocked
 from repro.core.bitpack import PackedTensor, pack_bits, unpack_bits
+from repro.core.threading import bgemm_parallel
 from repro.core.im2col import conv_geometry, im2col_packed, padded_tap_mask
 from repro.core.output_transform import (
     OutputThresholds,
@@ -157,6 +158,7 @@ def bconv2d(
     padding_correction: np.ndarray | None = None,
     int8_output_scale: float | None = None,
     int8_output_zero_point: int = 0,
+    num_threads: int = 1,
 ) -> np.ndarray | PackedTensor:
     """Execute a binarized 2-D convolution.
 
@@ -173,6 +175,9 @@ def bconv2d(
             :func:`repro.core.output_transform.compute_output_thresholds`.
         padding_correction: required when ``params.padding`` is
             ``SAME_ZERO``; from :func:`zero_padding_correction`.
+        num_threads: BGEMM thread count; >1 distributes row panels over
+            :func:`repro.core.threading.bgemm_parallel`, which is
+            bit-identical to the single-threaded blocked BGEMM.
 
     Returns:
         ``(N, out_h, out_w, out_channels)`` float32 array, or a
@@ -187,15 +192,17 @@ def bconv2d(
             f"filters have {filters.out_channels} output channels, "
             f"params expect {params.out_channels}"
         )
+    if num_threads < 1:
+        raise ValueError(f"num_threads must be positive, got {num_threads}")
     n, in_h, in_w, _ = x.bits.shape
     if params.groups > 1:
-        acc, geom = _grouped_accumulators(x, filters, params)
+        acc, geom = _grouped_accumulators(x, filters, params, num_threads)
     else:
         patches, geom = im2col_packed(
             x, params.kernel_h, params.kernel_w, params.stride, params.dilation,
             params.padding,
         )
-        acc = bgemm_blocked(patches, filters.bits, params.depth)
+        acc = _bgemm(patches, filters.bits, params.depth, num_threads)
     acc = acc.reshape(n, geom.out_h * geom.out_w, params.out_channels)
 
     if params.padding is Padding.SAME_ZERO:
@@ -234,8 +241,16 @@ def bconv2d(
     )
 
 
+def _bgemm(a: np.ndarray, b: np.ndarray, depth: int, num_threads: int) -> np.ndarray:
+    """Dispatch to the threaded BGEMM when asked; bit-identical either way."""
+    if num_threads > 1:
+        return bgemm_parallel(a, b, depth, num_threads=num_threads)
+    return bgemm_blocked(a, b, depth)
+
+
 def _grouped_accumulators(
-    x: PackedTensor, filters: PackedFilters, params: BConv2DParams
+    x: PackedTensor, filters: PackedFilters, params: BConv2DParams,
+    num_threads: int = 1,
 ):
     """Grouped convolution: per-group im2col + BGEMM, concatenated.
 
@@ -256,7 +271,7 @@ def _grouped_accumulators(
             xg, params.kernel_h, params.kernel_w, params.stride,
             params.dilation, params.padding,
         )
-        accs.append(bgemm_blocked(patches, wg.bits, params.depth))
+        accs.append(_bgemm(patches, wg.bits, params.depth, num_threads))
     return np.concatenate(accs, axis=-1), geom
 
 

@@ -398,11 +398,16 @@ class Executor:
                 last_use[t] = idx
         values: dict[str, Value] = {}
         for name, value in zip(self.graph.inputs, inputs):
-            _check_value(
-                np.asarray(value) if not isinstance(value, PackedTensor) else value,
-                self.graph.tensors[name],
-                name,
-            )
+            # Store the *converted* array: a Python list must not pass the
+            # spec check only to reach kernels as a raw list.  Lists take
+            # the spec dtype so they behave like the equivalent ndarray.
+            spec = self.graph.tensors[name]
+            if (
+                not isinstance(value, (PackedTensor, np.ndarray))
+                and spec.dtype != "bitpacked"
+            ):
+                value = np.asarray(value, dtype=spec.dtype)
+            _check_value(value, self.graph.tensors[name], name)
             values[name] = value
 
         self.node_times.clear()

@@ -13,13 +13,14 @@ from repro.profiling.breakdown import (
     op_class_shares,
     quicknet_table4_rows,
 )
-from repro.profiling.profiler import NodeProfile, profile_graph
+from repro.profiling.profiler import NodeProfile, profile_engine, profile_graph
 
 __all__ = [
     "NodeProfile",
     "OpClassShare",
     "layer_stacks",
     "op_class_shares",
+    "profile_engine",
     "profile_graph",
     "quicknet_table4_rows",
 ]

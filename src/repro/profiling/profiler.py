@@ -53,13 +53,44 @@ def profile_graph(
     measured: dict[str, float] = {}
     if measure:
         ex = Executor(graph)
-        if input_value is None:
-            spec = graph.tensors[graph.inputs[0]]
-            rng = np.random.default_rng(0)
-            input_value = rng.standard_normal(spec.shape).astype(np.float32)
-        ex.run(input_value)
+        ex.run(_default_input(graph) if input_value is None else input_value)
         measured = dict(ex.node_times)
 
+    return _profiles(device, graph, measured)
+
+
+def _default_input(graph: Graph) -> np.ndarray:
+    spec = graph.tensors[graph.inputs[0]]
+    rng = np.random.default_rng(0)
+    return rng.standard_normal(spec.shape).astype(np.float32)
+
+
+def profile_engine(
+    device: DeviceModel,
+    engine,
+    input_value: np.ndarray | None = None,
+) -> list[NodeProfile]:
+    """Profile every node using measured wall-clock from an engine run.
+
+    Same report as :func:`profile_graph` with ``measure=True``, but the
+    measured times come from one :class:`repro.runtime.Engine` execution —
+    i.e. the compiled-plan path, including its intra-op threading — rather
+    than the reference interpreter.
+
+    Args:
+        device: simulated device (for the analytical breakdown column).
+        engine: a :class:`repro.runtime.Engine`.
+        input_value: input for the measured run; random data with the
+            engine graph's base input shape when omitted.
+    """
+    graph = engine.graph
+    engine.run(_default_input(graph) if input_value is None else input_value)
+    return _profiles(device, graph, engine.last_node_times)
+
+
+def _profiles(
+    device: DeviceModel, graph: Graph, measured: dict[str, float]
+) -> list[NodeProfile]:
     profiles = []
     for index, node in enumerate(graph.nodes):
         breakdown = node_latency(

@@ -1,0 +1,434 @@
+"""The batched inference engine.
+
+Layers plan compilation, prepacked-weight caching, intra-op threading and
+dynamic micro-batching over the graph IR:
+
+- :meth:`Engine.run` — one (possibly batched) synchronous inference through
+  a cached :class:`~repro.runtime.plan.CompiledPlan`;
+- :meth:`Engine.run_many` — coalesces a list of requests into micro-batches
+  of at most ``max_batch_size`` samples, runs each micro-batch through one
+  batched plan call, and splits the results back per request;
+- :meth:`Engine.submit` — asynchronous front-end: requests are queued and a
+  background worker drains the queue, dynamically batching whatever is
+  pending (up to ``max_batch_size``) into single plan calls.
+
+Determinism contract: every request's result is bit-identical to running
+that request alone through the reference
+:class:`~repro.graph.executor.Executor` on the base graph — however the
+requests were coalesced.  See :mod:`repro.runtime.plan` for how batched
+execution preserves this.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+from concurrent.futures import Future
+from dataclasses import dataclass, field
+from typing import Any, Sequence
+
+import numpy as np
+
+from repro.core.bitpack import PackedTensor
+from repro.graph.ir import Graph
+from repro.runtime.plan import CompiledPlan, ParamCache, compile_plan
+
+Value = Any  # np.ndarray | PackedTensor
+Request = tuple[Value, ...]
+Result = Any  # Value | tuple[Value, ...]
+
+_CLOSE = object()  # worker-thread sentinel
+
+
+@dataclass(frozen=True)
+class EngineStats:
+    """A snapshot of an :class:`Engine`'s counters."""
+
+    #: inference requests accepted (one ``run`` call, or one ``run_many`` /
+    #: ``submit`` element)
+    requests: int
+    #: base-batch groups executed (= images for batch-1 graphs)
+    samples: int
+    #: batched plan executions
+    batches: int
+    #: executed micro-batch size (in base-batch groups) -> count
+    batch_histogram: dict[int, int]
+    plan_cache_hits: int
+    plan_cache_misses: int
+    param_cache_hits: int
+    param_cache_misses: int
+    #: wall-clock seconds spent inside plan execution
+    busy_s: float
+    #: cumulative wall-clock seconds per node across all executions
+    node_time_s: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def plan_cache_hit_rate(self) -> float:
+        total = self.plan_cache_hits + self.plan_cache_misses
+        return self.plan_cache_hits / total if total else 0.0
+
+    @property
+    def mean_batch_size(self) -> float:
+        return self.samples / self.batches if self.batches else 0.0
+
+    @property
+    def throughput_samples_per_s(self) -> float:
+        return self.samples / self.busy_s if self.busy_s > 0 else 0.0
+
+
+def _lead_dim(value: Value) -> int:
+    bits = value.bits if isinstance(value, PackedTensor) else np.asarray(value)
+    if bits.ndim == 0:
+        raise ValueError("engine inputs must have a leading batch dimension")
+    return bits.shape[0]
+
+
+def _concat_values(values: Sequence[Value]) -> Value:
+    if len(values) == 1:
+        return values[0]
+    if isinstance(values[0], PackedTensor):
+        return PackedTensor(
+            bits=np.concatenate([v.bits for v in values], axis=0),
+            channels=values[0].channels,
+        )
+    return np.concatenate([np.asarray(v) for v in values], axis=0)
+
+
+def _split_value(value: Value, sizes: Sequence[int]) -> list[Value]:
+    """Split a batched value into chunks of ``sizes`` leading rows."""
+    out, offset = [], 0
+    for size in sizes:
+        if isinstance(value, PackedTensor):
+            out.append(
+                PackedTensor(
+                    bits=value.bits[offset : offset + size], channels=value.channels
+                )
+            )
+        else:
+            out.append(value[offset : offset + size])
+        offset += size
+    return out
+
+
+class Engine:
+    """Batched, multi-threaded inference engine over one graph.
+
+    Args:
+        model: a :class:`~repro.graph.ir.Graph` or anything exposing a
+            ``.graph`` attribute (e.g. a converter
+            :class:`~repro.converter.convert.ConvertedModel`).
+        num_threads: intra-op threads for binarized GEMMs (plumbed down to
+            :func:`repro.core.threading.bgemm_parallel`).
+        max_batch_size: largest micro-batch (in base-batch groups) that
+            ``run_many``/``submit`` will coalesce into one plan call.
+
+    Thread safety: one engine may be shared by any number of threads; plan
+    compilation and the weight cache are serialized behind a lock while
+    execution itself is stateless and runs concurrently.
+    """
+
+    def __init__(
+        self,
+        model: Graph | Any,
+        num_threads: int = 1,
+        max_batch_size: int = 8,
+    ) -> None:
+        graph = getattr(model, "graph", model)
+        if not isinstance(graph, Graph):
+            raise TypeError(f"expected a Graph or model with .graph, got {model!r}")
+        if num_threads < 1:
+            raise ValueError(f"num_threads must be positive, got {num_threads}")
+        if max_batch_size < 1:
+            raise ValueError(f"max_batch_size must be positive, got {max_batch_size}")
+        graph.verify()
+        self.graph = graph
+        self.num_threads = num_threads
+        self.max_batch_size = max_batch_size
+        if not graph.inputs:
+            raise ValueError("engine requires a graph with at least one input")
+        self._base_batches = tuple(
+            graph.tensors[t].shape[0] if graph.tensors[t].shape else 1
+            for t in graph.inputs
+        )
+
+        self._plan_lock = threading.Lock()
+        self._plans: dict[int, CompiledPlan] = {}
+        self._param_cache = ParamCache()
+        self._plan_hits = 0
+        self._plan_misses = 0
+
+        self._stats_lock = threading.Lock()
+        self._requests = 0
+        self._samples = 0
+        self._batches = 0
+        self._batch_histogram: dict[int, int] = {}
+        self._busy_s = 0.0
+        self._node_time_s: dict[str, float] = {}
+        self._last_node_times: dict[str, float] = {}
+
+        self._queue: queue.Queue | None = None
+        self._worker: threading.Thread | None = None
+        self._worker_lock = threading.Lock()
+        self._closed = False
+
+    # ------------------------------------------------------------- plumbing
+    def plan(self, batch_factor: int = 1) -> CompiledPlan:
+        """The cached :class:`CompiledPlan` for ``batch_factor``."""
+        with self._plan_lock:
+            plan = self._plans.get(batch_factor)
+            if plan is None:
+                self._plan_misses += 1
+                plan = compile_plan(
+                    self.graph,
+                    batch_factor=batch_factor,
+                    num_threads=self.num_threads,
+                    cache=self._param_cache,
+                )
+                self._plans[batch_factor] = plan
+            else:
+                self._plan_hits += 1
+            return plan
+
+    def _normalize_request(self, inputs: Sequence[Value]) -> Request:
+        if len(inputs) != len(self.graph.inputs):
+            raise ValueError(
+                f"graph takes {len(self.graph.inputs)} inputs, got {len(inputs)}"
+            )
+        return tuple(
+            v if isinstance(v, PackedTensor) else np.asarray(v) for v in inputs
+        )
+
+    def _batch_factor(self, request: Request) -> int:
+        """How many base-batch groups a request carries; validates inputs."""
+        factor: int | None = None
+        for value, base, name in zip(request, self._base_batches, self.graph.inputs):
+            lead = _lead_dim(value)
+            if lead % base:
+                raise ValueError(
+                    f"input {name!r}: leading dimension {lead} is not a "
+                    f"multiple of the graph's base batch {base}"
+                )
+            this = lead // base
+            if factor is None:
+                factor = this
+            elif this != factor:
+                raise ValueError(
+                    f"inconsistent batch factors across inputs: {factor} vs {this}"
+                )
+        if not factor:
+            raise ValueError("empty batch")
+        return factor
+
+    def _execute(self, plan: CompiledPlan, inputs: Request) -> tuple[Value, ...]:
+        node_times: dict[str, float] = {}
+        start = time.perf_counter()
+        outputs = plan.execute(inputs, node_times)
+        elapsed = time.perf_counter() - start
+        with self._stats_lock:
+            self._batches += 1
+            self._samples += plan.batch_factor
+            self._batch_histogram[plan.batch_factor] = (
+                self._batch_histogram.get(plan.batch_factor, 0) + 1
+            )
+            self._busy_s += elapsed
+            for name, t in node_times.items():
+                self._node_time_s[name] = self._node_time_s.get(name, 0.0) + t
+            self._last_node_times = node_times
+        return outputs
+
+    @staticmethod
+    def _unwrap(outputs: tuple[Value, ...]) -> Result:
+        return outputs[0] if len(outputs) == 1 else outputs
+
+    # ------------------------------------------------------------ front-end
+    def run(self, *inputs: Value) -> Result:
+        """Synchronous inference on one (possibly batched) request.
+
+        The leading dimension of every input must be a multiple ``k`` of the
+        graph's base batch; the result is bit-identical to concatenating
+        ``k`` reference-executor runs.
+        """
+        request = self._normalize_request(inputs)
+        factor = self._batch_factor(request)
+        with self._stats_lock:
+            self._requests += 1
+        return self._unwrap(self._execute(self.plan(factor), request))
+
+    def run_many(self, requests: Sequence[Value | Sequence[Value]]) -> list[Result]:
+        """Run many requests, coalescing them into micro-batches.
+
+        Args:
+            requests: one entry per request — a single value for
+                single-input graphs, or a tuple of values.  Requests may
+                themselves be batched (any multiple of the base batch).
+
+        Returns:
+            one result per request, in order, each bit-identical to
+            ``run`` on that request alone.
+        """
+        normalized: list[Request] = []
+        factors: list[int] = []
+        for req in requests:
+            if not isinstance(req, (tuple, list)):
+                req = (req,)
+            request = self._normalize_request(req)
+            normalized.append(request)
+            factors.append(self._batch_factor(request))
+        with self._stats_lock:
+            self._requests += len(normalized)
+
+        results: list[Result] = []
+        for chunk in self._coalesce(list(zip(normalized, factors))):
+            results.extend(self._run_chunk(chunk))
+        return results
+
+    def _coalesce(
+        self, items: list[tuple[Request, int]]
+    ) -> list[list[tuple[Request, int]]]:
+        """Greedy in-order grouping into micro-batches <= max_batch_size.
+
+        A single request larger than ``max_batch_size`` runs alone; the
+        ragged tail forms a final, smaller micro-batch.
+        """
+        chunks: list[list[tuple[Request, int]]] = []
+        current: list[tuple[Request, int]] = []
+        current_size = 0
+        for request, factor in items:
+            if current and current_size + factor > self.max_batch_size:
+                chunks.append(current)
+                current, current_size = [], 0
+            current.append((request, factor))
+            current_size += factor
+        if current:
+            chunks.append(current)
+        return chunks
+
+    def _run_chunk(self, chunk: list[tuple[Request, int]]) -> list[Result]:
+        """Execute one micro-batch and split its outputs per request."""
+        factors = [factor for _, factor in chunk]
+        total = sum(factors)
+        if len(chunk) == 1:
+            batched = chunk[0][0]
+        else:
+            batched = tuple(
+                _concat_values([request[i] for request, _ in chunk])
+                for i in range(len(self.graph.inputs))
+            )
+        outputs = self._execute(self.plan(total), batched)
+        if len(chunk) == 1:
+            return [self._unwrap(outputs)]
+        per_request: list[list[Value]] = [[] for _ in chunk]
+        for out in outputs:
+            out_base = _lead_dim(out) // total
+            pieces = _split_value(out, [f * out_base for f in factors])
+            for i, piece in enumerate(pieces):
+                per_request[i].append(piece)
+        return [self._unwrap(tuple(vals)) for vals in per_request]
+
+    # ------------------------------------------------- async micro-batching
+    def submit(self, *inputs: Value) -> Future:
+        """Queue one request; returns a :class:`concurrent.futures.Future`.
+
+        A background worker coalesces whatever is pending in the queue —
+        across submitting threads — into micro-batches.
+        """
+        if self._closed:
+            raise RuntimeError("engine is closed")
+        request = self._normalize_request(inputs)
+        factor = self._batch_factor(request)
+        with self._stats_lock:
+            self._requests += 1
+        future: Future = Future()
+        self._ensure_worker()
+        assert self._queue is not None
+        self._queue.put((request, factor, future))
+        return future
+
+    def _ensure_worker(self) -> None:
+        with self._worker_lock:
+            if self._worker is None:
+                self._queue = queue.Queue()
+                self._worker = threading.Thread(
+                    target=self._worker_loop, name="repro-engine-batcher", daemon=True
+                )
+                self._worker.start()
+
+    def _worker_loop(self) -> None:
+        assert self._queue is not None
+        while True:
+            item = self._queue.get()
+            if item is _CLOSE:
+                return
+            pending = [item]
+            size = item[1]
+            # Dynamic batching: take whatever else is already queued, up to
+            # the batch cap, without waiting for stragglers.
+            while size < self.max_batch_size:
+                try:
+                    nxt = self._queue.get_nowait()
+                except queue.Empty:
+                    break
+                if nxt is _CLOSE:
+                    self._queue.put(_CLOSE)  # re-post for the final drain
+                    break
+                pending.append(nxt)
+                size += nxt[1]
+            chunks = self._coalesce([(req, f) for req, f, _ in pending])
+            futures = [fut for _, _, fut in pending]
+            done = 0
+            for chunk in chunks:
+                chunk_futures = futures[done : done + len(chunk)]
+                done += len(chunk)
+                try:
+                    results = self._run_chunk(chunk)
+                except BaseException as exc:  # propagate to all waiters
+                    for fut in chunk_futures:
+                        fut.set_exception(exc)
+                else:
+                    for fut, result in zip(chunk_futures, results):
+                        fut.set_result(result)
+
+    def close(self) -> None:
+        """Stop the batching worker; idempotent.  ``run`` stays usable."""
+        self._closed = True
+        with self._worker_lock:
+            if self._worker is not None:
+                assert self._queue is not None
+                self._queue.put(_CLOSE)
+                self._worker.join()
+                self._worker = None
+                self._queue = None
+
+    def __enter__(self) -> "Engine":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -------------------------------------------------------------- metrics
+    @property
+    def last_node_times(self) -> dict[str, float]:
+        """Per-node wall-clock seconds of the most recent plan execution."""
+        with self._stats_lock:
+            return dict(self._last_node_times)
+
+    def stats(self) -> EngineStats:
+        """A consistent snapshot of the engine's counters."""
+        with self._plan_lock:
+            plan_hits, plan_misses = self._plan_hits, self._plan_misses
+            param_hits = self._param_cache.hits
+            param_misses = self._param_cache.misses
+        with self._stats_lock:
+            return EngineStats(
+                requests=self._requests,
+                samples=self._samples,
+                batches=self._batches,
+                batch_histogram=dict(self._batch_histogram),
+                plan_cache_hits=plan_hits,
+                plan_cache_misses=plan_misses,
+                param_cache_hits=param_hits,
+                param_cache_misses=param_misses,
+                busy_s=self._busy_s,
+                node_time_s=dict(self._node_time_s),
+            )

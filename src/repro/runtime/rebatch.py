@@ -1,0 +1,60 @@
+"""Re-infer a graph's tensor specs for a multiplied batch dimension.
+
+Zoo and converter graphs are built for a fixed batch (normally 1).  The
+engine serves coalesced micro-batches, so it needs the same graph's specs
+at ``k`` times the base batch.  Rather than rebuilding the model, the specs
+are re-derived through :mod:`repro.graph.shapes` — the same inference the
+builder used — from input specs whose leading dimension is scaled by ``k``.
+
+The only attribute that hard-codes the batch is ``reshape``'s target
+shape; its leading dimension is scaled by ``k`` (the engine assumes, and
+the parity suite verifies, that dimension 0 is the batch axis everywhere).
+A graph whose shapes cannot be re-derived for the requested factor fails
+here with a :class:`~repro.graph.ir.GraphError` at plan-compile time, not
+mid-execution.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.graph.ir import Graph, GraphError, TensorSpec
+from repro.graph.shapes import infer_output_specs
+
+
+def batched_attrs(op: str, attrs: dict[str, Any], batch_factor: int) -> dict[str, Any]:
+    """Node attributes adjusted for a rebatched run (``reshape`` only)."""
+    if op != "reshape" or batch_factor == 1:
+        return attrs
+    shape = tuple(int(d) for d in attrs["shape"])
+    return {**attrs, "shape": (shape[0] * batch_factor,) + shape[1:]}
+
+
+def rebatched_specs(graph: Graph, batch_factor: int) -> dict[str, TensorSpec]:
+    """Specs for every tensor of ``graph`` at ``batch_factor`` x base batch."""
+    if batch_factor < 1:
+        raise ValueError(f"batch_factor must be positive, got {batch_factor}")
+    if batch_factor == 1:
+        return dict(graph.tensors)
+    specs: dict[str, TensorSpec] = {}
+    for t in graph.inputs:
+        base = graph.tensors[t]
+        if not base.shape:
+            raise GraphError(f"input {t!r} has no batch dimension to scale")
+        specs[t] = TensorSpec(
+            (base.shape[0] * batch_factor,) + base.shape[1:], base.dtype
+        )
+    for node in graph.nodes:
+        attrs = batched_attrs(node.op, node.attrs, batch_factor)
+        try:
+            out_specs = infer_output_specs(
+                node.op, [specs[t] for t in node.inputs], attrs, node.params
+            )
+        except GraphError as e:
+            raise GraphError(
+                f"graph {graph.name!r} cannot run at {batch_factor}x batch: "
+                f"node {node.name!r}: {e}"
+            ) from e
+        for t, spec in zip(node.outputs, out_specs):
+            specs[t] = spec
+    return specs

@@ -119,6 +119,20 @@ class TestExecutor:
         with pytest.raises(GraphError, match="no kernel"):
             Executor(g).run(np.zeros((1, 4), np.float32))
 
+    def test_list_input_is_converted_before_kernels(self, rng):
+        """Regression: a Python-list input must reach kernels as an ndarray.
+
+        The executor used to validate ``np.asarray(value)`` but then store
+        the raw list, so the first kernel call crashed on a missing ndarray
+        attribute even though the spec check had passed.
+        """
+        g, _ = self._toy(rng)
+        x = rng.standard_normal((1, 6, 6, 3)).astype(np.float32)
+        from_list = Executor(g).run(x.tolist())
+        from_array = Executor(g).run(x)
+        assert np.array_equal(from_list, from_array)
+        assert from_list.dtype == from_array.dtype
+
     def test_binarized_conv_training_emulation(self, rng):
         """conv2d(binary_weights=True) binarizes its latent weights."""
         b = GraphBuilder((1, 4, 4, 8))

@@ -1,0 +1,282 @@
+"""Unit tests for the runtime layer's machinery.
+
+Parity is covered by :mod:`test_runtime_parity`; this module locks down the
+surrounding behavior: plan/param caching, statistics, input validation,
+spec rebatching, the profiler hook and the CLI ``--engine`` path.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import cli
+from repro.converter import convert
+from repro.core.types import Padding
+from repro.graph.builder import GraphBuilder
+from repro.graph.ir import Graph, GraphError, TensorSpec
+from repro.hw.device import DeviceModel
+from repro.profiling import profile_engine
+from repro.runtime import Engine, ParamCache, compile_plan, rebatched_specs
+
+
+def _small_net(rng):
+    b = GraphBuilder((1, 6, 6, 3))
+    x = b.conv2d(b.input, rng.standard_normal((3, 3, 3, 4)).astype(np.float32))
+    x = b.relu(x)
+    x = b.global_avgpool(x)
+    x = b.dense(x, rng.standard_normal((4, 3)).astype(np.float32))
+    return b.finish(x)
+
+
+def _two_input_net(rng):
+    g = Graph("two_inputs")
+    a = g.add_input("a", TensorSpec((1, 4)))
+    b = g.add_input("b", TensorSpec((1, 4)))
+    n = g.add_node("add", [a, b], [TensorSpec((1, 4))])
+    g.outputs = [n.outputs[0]]
+    g.verify()
+    return g
+
+
+class TestEngineConstruction:
+    def test_accepts_graph_and_converted_model(self, rng):
+        g = _small_net(rng)
+        assert Engine(g).graph is g
+        model = convert(_small_net(rng), in_place=True)
+        assert Engine(model).graph is model.graph
+
+    def test_rejects_non_graph(self):
+        with pytest.raises(TypeError, match="Graph"):
+            Engine(42)
+
+    def test_rejects_bad_knobs(self, rng):
+        g = _small_net(rng)
+        with pytest.raises(ValueError, match="num_threads"):
+            Engine(g, num_threads=0)
+        with pytest.raises(ValueError, match="max_batch_size"):
+            Engine(g, max_batch_size=0)
+
+    def test_rejects_graph_without_inputs(self):
+        with pytest.raises((ValueError, GraphError)):
+            Engine(Graph("empty"))
+
+
+class TestInputValidation:
+    def test_wrong_input_count(self, rng):
+        with Engine(_small_net(rng)) as engine:
+            with pytest.raises(ValueError, match="inputs"):
+                engine.run()
+
+    def test_wrong_input_shape(self, rng):
+        with Engine(_small_net(rng)) as engine:
+            with pytest.raises(GraphError, match="shape"):
+                engine.run(np.zeros((1, 5, 5, 3), np.float32))
+
+    def test_non_divisible_batch(self, rng):
+        b = GraphBuilder((2, 4))
+        out = b.relu(b.input)
+        with Engine(b.finish(out)) as engine:
+            with pytest.raises(ValueError, match="multiple"):
+                engine.run(np.zeros((3, 4), np.float32))
+
+    def test_inconsistent_batch_factors(self, rng):
+        with Engine(_two_input_net(rng)) as engine:
+            with pytest.raises(ValueError, match="inconsistent"):
+                engine.run(
+                    np.zeros((2, 4), np.float32), np.zeros((3, 4), np.float32)
+                )
+
+    def test_empty_batch(self, rng):
+        with Engine(_small_net(rng)) as engine:
+            with pytest.raises(ValueError, match="empty"):
+                engine.run(np.zeros((0, 6, 6, 3), np.float32))
+
+
+class TestCaching:
+    def test_plan_cache_counters(self, rng):
+        x = rng.standard_normal((1, 6, 6, 3)).astype(np.float32)
+        with Engine(_small_net(rng)) as engine:
+            engine.run(x)
+            engine.run(x)
+            engine.run(np.concatenate([x, x]))
+            stats = engine.stats()
+        assert stats.plan_cache_misses == 2  # factors 1 and 2
+        assert stats.plan_cache_hits == 1
+        assert stats.plan_cache_hit_rate == pytest.approx(1 / 3)
+
+    def test_param_cache_shared_across_plans(self, rng):
+        model = convert(_binarized_net(rng), in_place=True)
+        x = rng.standard_normal((1, 6, 6, 8)).astype(np.float32)
+        with Engine(model) as engine:
+            engine.run(x)
+            misses_after_first = engine.stats().param_cache_misses
+            assert misses_after_first > 0
+            # A new batch factor compiles a new plan, but every derived
+            # weight (packed filters, thresholds, ...) comes from the cache.
+            engine.run(np.concatenate([x, x]))
+            stats = engine.stats()
+        assert stats.param_cache_misses == misses_after_first
+        assert stats.param_cache_hits >= misses_after_first
+
+    def test_standalone_param_cache_counts(self, rng):
+        cache = ParamCache()
+        built = []
+        node = _small_net(rng).nodes[0]
+
+        def build():
+            built.append(1)
+            return "payload"
+
+        assert cache.get(node, "k", build) == "payload"
+        assert cache.get(node, "k", build) == "payload"
+        assert len(built) == 1
+        assert (cache.hits, cache.misses) == (1, 1)
+        assert len(cache) == 1
+
+
+def _binarized_net(rng):
+    b = GraphBuilder((1, 6, 6, 8))
+    x = b.binarize(b.input)
+    x = b.conv2d(
+        x, rng.standard_normal((3, 3, 8, 8)).astype(np.float32),
+        binary_weights=True, padding=Padding.SAME_ONE,
+    )
+    x = b.global_avgpool(x)
+    return b.finish(x)
+
+
+class TestStats:
+    def test_counters_and_rates(self, rng):
+        x = rng.standard_normal((2, 6, 6, 3)).astype(np.float32)
+        with Engine(_small_net(rng)) as engine:
+            engine.run(x)
+            engine.run(x)
+            stats = engine.stats()
+        assert stats.requests == 2
+        assert stats.samples == 4
+        assert stats.batches == 2
+        assert stats.batch_histogram == {2: 2}
+        assert stats.mean_batch_size == 2.0
+        assert stats.busy_s > 0
+        assert stats.throughput_samples_per_s > 0
+        assert set(stats.node_time_s) == {n.name for n in engine.graph.nodes}
+
+    def test_last_node_times(self, rng):
+        g = _small_net(rng)
+        with Engine(g) as engine:
+            engine.run(rng.standard_normal((1, 6, 6, 3)).astype(np.float32))
+            times = engine.last_node_times
+        assert set(times) == {n.name for n in g.nodes}
+        assert all(t >= 0 for t in times.values())
+
+
+class TestRebatchedSpecs:
+    def test_factor_one_is_identity(self, rng):
+        g = _small_net(rng)
+        assert rebatched_specs(g, 1) == dict(g.tensors)
+
+    def test_lead_dims_scale(self, rng):
+        g = _small_net(rng)
+        specs = rebatched_specs(g, 3)
+        for name, base in g.tensors.items():
+            assert specs[name].shape == (base.shape[0] * 3,) + base.shape[1:]
+            assert specs[name].dtype == base.dtype
+
+    def test_reshape_attr_scales(self, rng):
+        b = GraphBuilder((1, 4, 4, 2))
+        out = b.reshape(b.input, (1, 32))
+        g = b.finish(out)
+        specs = rebatched_specs(g, 5)
+        assert specs[g.outputs[0]].shape == (5, 32)
+
+    def test_invalid_factor_rejected(self, rng):
+        with pytest.raises(ValueError):
+            rebatched_specs(_small_net(rng), 0)
+
+
+class TestCompilePlan:
+    def test_unknown_op_rejected(self):
+        g = Graph("mystery")
+        x = g.add_input("x", TensorSpec((1, 4)))
+        n = g.add_node("warp_drive", [x], [TensorSpec((1, 4))])
+        g.outputs = [n.outputs[0]]
+        with pytest.raises(GraphError, match="no kernel"):
+            compile_plan(g)
+
+    def test_invalid_args_rejected(self, rng):
+        g = _small_net(rng)
+        with pytest.raises(ValueError):
+            compile_plan(g, batch_factor=0)
+        with pytest.raises(ValueError):
+            compile_plan(g, num_threads=0)
+
+    def test_works_on_unconverted_training_graph(self, rng):
+        """Plans are not restricted to converted inference graphs."""
+        from repro.graph.executor import Executor
+
+        g = _binarized_net(rng)
+        x = rng.standard_normal((1, 6, 6, 8)).astype(np.float32)
+        expected = Executor(g).run(x)
+        with Engine(g) as engine:
+            out = engine.run(x)
+        assert np.array_equal(out, expected) and out.dtype == expected.dtype
+
+
+class TestProfilerHook:
+    def test_profile_engine_measures_every_node(self, rng):
+        model = convert(_binarized_net(rng), in_place=True)
+        with Engine(model) as engine:
+            profiles = profile_engine(DeviceModel.by_name("pixel1"), engine)
+        assert len(profiles) == len(model.graph.nodes)
+        assert all(p.measured_s is not None and p.measured_s >= 0 for p in profiles)
+
+
+class TestCli:
+    def test_benchmark_engine_smoke(self, capsys):
+        rc = cli.main(
+            ["benchmark", "--model", "quicknet_small", "--input-size", "32",
+             "--engine", "--threads", "2", "--batch", "2", "--repeats", "1"]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "via Engine" in out and "ms/sample" in out
+
+    def test_profile_engine_smoke(self, capsys):
+        rc = cli.main(
+            ["profile", "--model", "quicknet_small", "--input-size", "32",
+             "--engine"]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "via Engine (measured)" in out
+
+    @pytest.mark.parametrize(
+        "flag", ["--batch", "--repeats", "--threads"]
+    )
+    def test_benchmark_engine_rejects_zero_knobs(self, flag, capsys):
+        rc = cli.main(
+            ["benchmark", "--model", "quicknet_small", "--input-size", "32",
+             "--engine", flag, "0"]
+        )
+        assert rc == 2
+        assert "must be >= 1" in capsys.readouterr().err
+
+    def test_benchmark_device_model_path_unchanged(self, capsys):
+        rc = cli.main(["benchmark", "--model", "quicknet_small"])
+        assert rc == 0
+        assert "pixel1" in capsys.readouterr().out
+
+
+class TestThreadingExperiment:
+    def test_run_measured_smoke(self):
+        from repro.experiments.threading import run_measured
+
+        results = run_measured(
+            input_size=32, batch=2, repeats=1, thread_counts=(1, 2)
+        )
+        assert [r.threads for r in results] == [1, 2]
+        assert all(r.ms_per_batch > 0 for r in results)
+        assert all(
+            r.ms_per_sample == pytest.approx(r.ms_per_batch / 2) for r in results
+        )

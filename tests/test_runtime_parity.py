@@ -1,0 +1,320 @@
+"""Bit-exactness parity: the runtime Engine vs the reference Executor.
+
+The Engine's contract (see :mod:`repro.runtime`) is that every request's
+result is *bit-identical* — same dtype, same every-last-bit values, same
+packed words for bitpacked tensors — to running that request alone through
+the reference :class:`~repro.graph.executor.Executor` on the base graph,
+regardless of how requests were coalesced into micro-batches and how many
+intra-op threads the binary GEMMs use.
+
+These tests enforce that contract over:
+
+- synthetic graphs covering every op family the executor dispatches
+  (float, binarized/bitpacked, int8, multi-output, packed input/output),
+  across ``num_threads in {1, 2, 4}`` and batch factors ``{1, 3, 8}``;
+- the full model zoo (a fast subset always; the complete grid under the
+  opt-in ``slow`` marker).
+
+The reference is always a *concatenation of per-sample Executor runs* on
+the base graph — not an Executor run on a rebatched graph — because that
+is the determinism statement the Engine makes to its callers.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.converter import convert
+from repro.core.bitpack import PackedTensor, pack_bits
+from repro.core.types import Activation, Padding
+from repro.graph.builder import GraphBuilder
+from repro.graph.executor import Executor
+from repro.graph.ir import Graph, TensorSpec
+from repro.kernels.batchnorm import BatchNormParams
+from repro.ptq import quantize_model
+from repro.runtime import Engine
+from repro.zoo import MODEL_REGISTRY, build_model
+
+THREAD_COUNTS = (1, 2, 4)
+BATCH_FACTORS = (1, 3, 8)
+
+# ----------------------------------------------------------------- helpers
+
+
+def _split_groups(value, base, factor):
+    """Split a batched input into ``factor`` groups of ``base`` lead rows."""
+    if isinstance(value, PackedTensor):
+        return [
+            PackedTensor(
+                bits=value.bits[i * base : (i + 1) * base], channels=value.channels
+            )
+            for i in range(factor)
+        ]
+    return [value[i * base : (i + 1) * base] for i in range(factor)]
+
+
+def _concat(values):
+    if isinstance(values[0], PackedTensor):
+        return PackedTensor(
+            bits=np.concatenate([v.bits for v in values], axis=0),
+            channels=values[0].channels,
+        )
+    return np.concatenate(values, axis=0)
+
+
+def reference_outputs(graph: Graph, inputs, factor: int):
+    """Concatenated per-group Executor runs — the Engine's ground truth."""
+    bases = [graph.tensors[t].shape[0] for t in graph.inputs]
+    groups = [
+        _split_groups(value, base, factor) for value, base in zip(inputs, bases)
+    ]
+    per_group = []
+    for i in range(factor):
+        ex = Executor(graph)
+        out = ex.run(*[g[i] for g in groups])
+        per_group.append(out if isinstance(out, tuple) else (out,))
+    outs = tuple(
+        _concat([g[j] for g in per_group]) for j in range(len(per_group[0]))
+    )
+    return outs[0] if len(outs) == 1 else outs
+
+
+def assert_bit_identical(actual, expected):
+    """dtype-exact, bit-exact equality; PackedTensors compare words."""
+    if isinstance(expected, tuple):
+        assert isinstance(actual, tuple) and len(actual) == len(expected)
+        for a, e in zip(actual, expected):
+            assert_bit_identical(a, e)
+        return
+    if isinstance(expected, PackedTensor):
+        assert isinstance(actual, PackedTensor)
+        assert actual.channels == expected.channels
+        assert actual.bits.dtype == expected.bits.dtype
+        assert np.array_equal(actual.bits, expected.bits)
+        return
+    assert isinstance(actual, np.ndarray)
+    assert actual.dtype == expected.dtype, (actual.dtype, expected.dtype)
+    assert np.array_equal(actual, expected)
+
+
+def _batched_input(graph: Graph, factor: int, rng, tensor=None):
+    tensor = tensor or graph.inputs[0]
+    spec = graph.tensors[tensor]
+    shape = (spec.shape[0] * factor,) + tuple(spec.shape[1:])
+    x = rng.standard_normal(shape).astype(np.float32)
+    if spec.dtype == "bitpacked":
+        return pack_bits(x)
+    if spec.dtype == "int8":
+        return (x * 30).clip(-128, 127).astype(np.int8)
+    return x
+
+
+# ------------------------------------------------------- synthetic graphs
+
+
+def _float_net(rng):
+    """Every float op family: conv/depthwise/pools/bn/dense/softmax."""
+    b = GraphBuilder((1, 12, 12, 3))
+    x = b.conv2d(
+        b.input, rng.standard_normal((3, 3, 3, 8)).astype(np.float32),
+        bias=rng.standard_normal(8).astype(np.float32),
+        activation=Activation.RELU,
+    )
+    x = b.batch_norm(x, BatchNormParams.identity(8))
+    x = b.depthwise_conv2d(x, rng.standard_normal((3, 3, 8)).astype(np.float32))
+    x = b.relu6(x)
+    x = b.maxpool2d(x, 2, 2)
+    x = b.avgpool2d(x, 2, 2)
+    x = b.global_avgpool(x)
+    x = b.dense(x, rng.standard_normal((8, 5)).astype(np.float32))
+    x = b.softmax(x)
+    return b.finish(x)
+
+
+def _binary_net(rng, padding):
+    """Converted binarized chain -> lce_quantize + lce_bconv2d ops."""
+    b = GraphBuilder((1, 8, 8, 8))
+    w1 = rng.standard_normal((3, 3, 8, 16)).astype(np.float32)
+    w2 = rng.standard_normal((3, 3, 16, 16)).astype(np.float32)
+    x = b.binarize(b.input)
+    x = b.conv2d(x, w1, binary_weights=True, padding=padding)
+    x = b.batch_norm(x, BatchNormParams.identity(16))
+    x = b.binarize(x)
+    x = b.conv2d(x, w2, binary_weights=True, padding=padding)
+    x = b.global_avgpool(x)
+    x = b.dense(x, rng.standard_normal((16, 4)).astype(np.float32))
+    return convert(b.finish(x), in_place=True).graph
+
+
+def _bmaxpool_net(rng):
+    """maxpool sunk through lce_quantize -> lce_bmaxpool2d after convert."""
+    b = GraphBuilder((1, 8, 8, 3))
+    x = b.conv2d(b.input, rng.standard_normal((3, 3, 3, 8)).astype(np.float32))
+    x = b.maxpool2d(x, 2, 2)
+    x = b.binarize(x)
+    x = b.conv2d(
+        x, rng.standard_normal((3, 3, 8, 8)).astype(np.float32),
+        binary_weights=True, padding=Padding.SAME_ONE,
+    )
+    x = b.global_avgpool(x)
+    g = convert(b.finish(x), in_place=True).graph
+    assert any(n.op == "lce_bmaxpool2d" for n in g.nodes)
+    return g
+
+
+def _se_net(rng):
+    """Squeeze-excite shape traffic: global pool, dense, sigmoid, reshape,
+    broadcast mul — the rebatching-sensitive ops of RealToBinaryNet."""
+    b = GraphBuilder((1, 6, 6, 8))
+    x = b.conv2d(
+        b.input, rng.standard_normal((3, 3, 8, 8)).astype(np.float32),
+        padding=Padding.SAME_ZERO,
+    )
+    s = b.global_avgpool(x)
+    s = b.dense(s, rng.standard_normal((8, 8)).astype(np.float32))
+    s = b.sigmoid(s)
+    s = b.reshape(s, (1, 1, 1, 8))
+    x = b.mul(x, s)
+    x = b.global_avgpool(x)
+    return b.finish(x)
+
+
+def _concat_pad_net(rng):
+    """concat + pad_channels (DenseNet-style channel plumbing)."""
+    b = GraphBuilder((1, 6, 6, 4))
+    x = b.conv2d(
+        b.input, rng.standard_normal((3, 3, 4, 4)).astype(np.float32),
+        padding=Padding.SAME_ZERO,
+    )
+    y = b.pad_channels(x, after=4)
+    z = b.concat([x, b.relu(x)])
+    x = b.add(y, z)
+    x = b.global_avgpool(x)
+    return b.finish(x)
+
+
+def _int8_net(rng):
+    """Post-training-quantized net: conv2d_int8 / dense_int8 / requantize."""
+    b = GraphBuilder((1, 10, 10, 3))
+    x = b.conv2d(
+        b.input, rng.standard_normal((3, 3, 3, 8)).astype(np.float32),
+        bias=rng.standard_normal(8).astype(np.float32),
+        activation=Activation.RELU,
+    )
+    x = b.conv2d(x, rng.standard_normal((3, 3, 8, 8)).astype(np.float32), stride=2)
+    x = b.maxpool2d(x, 2, 2)
+    x = b.global_avgpool(x)
+    x = b.dense(x, rng.standard_normal((8, 5)).astype(np.float32))
+    g = b.finish(x)
+    calib = [rng.standard_normal((1, 10, 10, 3)).astype(np.float32) for _ in range(4)]
+    return quantize_model(g, calib)
+
+
+def _multi_output_net(rng):
+    b = GraphBuilder((1, 6))
+    a = b.dense(b.input, rng.standard_normal((6, 6)).astype(np.float32))
+    c = b.relu(a)
+    d = b.softmax(a)
+    return b.finish(a, c, d)
+
+
+def _packed_output_net(rng):
+    """Graph whose output tensor is bitpacked (PackedTensor crosses the
+    Engine boundary and must batch/split by words)."""
+    g = Graph("packed_out")
+    x = g.add_input("x", TensorSpec((1, 4, 4, 70)))
+    q = g.add_node("lce_quantize", [x], [TensorSpec((1, 4, 4, 70), "bitpacked")])
+    p = g.add_node(
+        "lce_bmaxpool2d",
+        [q.outputs[0]],
+        [TensorSpec((1, 2, 2, 70), "bitpacked")],
+        attrs={"pool_h": 2, "pool_w": 2, "stride_h": 2, "stride_w": 2},
+    )
+    g.outputs = [p.outputs[0]]
+    g.verify()
+    return g
+
+
+def _packed_input_net(rng):
+    """Graph whose *input* tensor is bitpacked."""
+    g = Graph("packed_in")
+    x = g.add_input("x", TensorSpec((1, 4, 4, 70), "bitpacked"))
+    d = g.add_node("lce_dequantize", [x], [TensorSpec((1, 4, 4, 70), "float32")])
+    g.outputs = [d.outputs[0]]
+    g.verify()
+    return g
+
+
+SYNTHETIC_GRAPHS = {
+    "float": _float_net,
+    "binary_same_one": lambda rng: _binary_net(rng, Padding.SAME_ONE),
+    "binary_same_zero": lambda rng: _binary_net(rng, Padding.SAME_ZERO),
+    "bmaxpool": _bmaxpool_net,
+    "se_block": _se_net,
+    "concat_pad": _concat_pad_net,
+    "int8": _int8_net,
+    "multi_output": _multi_output_net,
+    "packed_output": _packed_output_net,
+    "packed_input": _packed_input_net,
+}
+
+
+# ----------------------------------------------------------- the test grid
+
+
+@pytest.mark.parametrize("graph_name", sorted(SYNTHETIC_GRAPHS))
+@pytest.mark.parametrize("num_threads", THREAD_COUNTS)
+@pytest.mark.parametrize("factor", BATCH_FACTORS)
+def test_synthetic_parity(graph_name, num_threads, factor, rng):
+    graph = SYNTHETIC_GRAPHS[graph_name](rng)
+    inputs = tuple(_batched_input(graph, factor, rng, t) for t in graph.inputs)
+    expected = reference_outputs(graph, inputs, factor)
+    with Engine(graph, num_threads=num_threads, max_batch_size=8) as engine:
+        assert_bit_identical(engine.run(*inputs), expected)
+
+
+@pytest.mark.parametrize("graph_name", sorted(SYNTHETIC_GRAPHS))
+def test_synthetic_parity_run_many(graph_name, rng):
+    """run_many across ragged request sizes must match per-request runs."""
+    graph = SYNTHETIC_GRAPHS[graph_name](rng)
+    sizes = [1, 3, 2, 1]
+    requests = [
+        tuple(_batched_input(graph, k, rng, t) for t in graph.inputs)
+        for k in sizes
+    ]
+    with Engine(graph, num_threads=2, max_batch_size=4) as engine:
+        results = engine.run_many(requests)
+    for req, k, result in zip(requests, sizes, results):
+        assert_bit_identical(result, reference_outputs(graph, req, k))
+
+
+# ----------------------------------------------------------------- the zoo
+
+ZOO_INPUT_SIZE = {"binary_alexnet": 64, "xnornet": 64}
+FAST_ZOO = ("quicknet_small", "birealnet18", "binarydensenet28")
+
+
+def _zoo_engine_case(model_name, num_threads, factor, rng):
+    size = ZOO_INPUT_SIZE.get(model_name, 32)
+    model = convert(build_model(model_name, input_size=size), in_place=True)
+    x = _batched_input(model.graph, factor, rng)
+    expected = reference_outputs(model.graph, (x,), factor)
+    with Engine(model, num_threads=num_threads, max_batch_size=8) as engine:
+        assert_bit_identical(engine.run(x), expected)
+        # The second run hits the plan cache; parity must survive reuse.
+        assert_bit_identical(engine.run(x), expected)
+        assert engine.stats().plan_cache_hits >= 1
+
+
+@pytest.mark.parametrize("model_name", FAST_ZOO)
+def test_zoo_parity_fast(model_name, rng):
+    _zoo_engine_case(model_name, num_threads=2, factor=3, rng=rng)
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("model_name", sorted(MODEL_REGISTRY))
+@pytest.mark.parametrize("num_threads", THREAD_COUNTS)
+@pytest.mark.parametrize("factor", BATCH_FACTORS)
+def test_zoo_parity_full(model_name, num_threads, factor, rng):
+    _zoo_engine_case(model_name, num_threads, factor, rng)
