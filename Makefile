@@ -1,9 +1,15 @@
 # Convenience targets for the LCE reproduction.
 
-.PHONY: test test-fast test-slow bench experiments appendix extensions examples all
+.PHONY: test test-fast test-slow lint check bench experiments appendix extensions examples all
 
 test:
 	pytest tests/
+
+# ruff when installed (config in pyproject.toml), AST fallback otherwise.
+lint:
+	python tools/lint.py
+
+check: lint test-fast
 
 # Skip the opt-in slow grids and the benchmark suite entirely.
 test-fast:

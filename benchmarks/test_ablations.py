@@ -13,7 +13,6 @@ import numpy as np
 import pytest
 from conftest import run_once
 
-from repro.converter import convert
 from repro.core.types import Padding
 from repro.graph.passes import (
     binarize_convs,

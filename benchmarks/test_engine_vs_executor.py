@@ -77,7 +77,11 @@ def test_engine_beats_executor_at_batch(benchmark):
             f"{row['engine_ms_per_sample']:.2f} ms/sample "
             f"({row['speedup']:.2f}x)"
         )
-    # Acceptance criterion: the batched engine wins at batch >= 4.
+    # Acceptance criteria: the batched engine wins at batch >= 4, and by a
+    # real margin (>= 1.3x) at batch 4 on one thread — the amortization the
+    # registry-compiled kernels must not regress.
     for row in rows:
         if row["batch"] >= 4:
             assert row["speedup"] > 1.0, row
+        if row["batch"] == 4:
+            assert row["speedup"] >= 1.3, row

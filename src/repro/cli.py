@@ -7,6 +7,7 @@ The deployment-side tooling a released inference engine ships with::
     python -m repro profile   --model binarydensenet28 --device rpi4b
     python -m repro summarize --model quicknet_small
     python -m repro convert   --model quicknet --output model.lce
+    python -m repro ops       [--op lce_bconv2d]
     python -m repro experiments [--appendix|--extensions]
 
 ``--engine`` switches benchmark/profile from the analytical device model to
@@ -153,6 +154,50 @@ def cmd_convert(args) -> int:
     return 0
 
 
+def cmd_ops(args) -> int:
+    """The canonical operator table, straight from the registry."""
+    from repro.ops import COST_EXEMPT_OPS, all_specs
+
+    specs = all_specs()
+    if args.op is not None:
+        specs = tuple(s for s in specs if s.name == args.op)
+        if not specs:
+            print(f"ops: unknown op {args.op!r}", file=sys.stderr)
+            return 2
+    for spec in specs:
+        flags = []
+        if spec.binary:
+            flags.append("binary")
+        if spec.mac_layer:
+            flags.append("mac-layer")
+        if spec.split_rebatch:
+            flags.append("split-rebatch")
+        if spec.cost is not None:
+            latency = "modeled"
+        elif spec.name in COST_EXEMPT_OPS:
+            latency = "exempt"
+        else:
+            latency = "MISSING"
+        print(spec.name + (f"  [{', '.join(flags)}]" if flags else ""))
+        if spec.doc:
+            print(f"  {spec.doc}")
+        print(f"  class:   {spec.op_class}")
+        print(f"  attrs:   {spec.schema()}")
+        print(f"  shape:   {_hook_doc(spec.infer)}")
+        print(f"  latency: {latency}")
+        print()
+    print(f"{len(specs)} ops registered")
+    return 0
+
+
+def _hook_doc(fn) -> str:
+    doc = (fn.__doc__ or "").strip().splitlines()
+    if doc:
+        return doc[0]
+    name = fn.__name__.lstrip("_")
+    return name if name != "<lambda>" else "(see op doc)"
+
+
 def cmd_experiments(args) -> int:
     from repro.experiments import runner
 
@@ -210,6 +255,12 @@ def build_parser() -> argparse.ArgumentParser:
     _add_model_arg(p)
     p.add_argument("--output", default="model.lce")
     p.set_defaults(fn=cmd_convert)
+
+    p = sub.add_parser(
+        "ops", help="list every registered operator with schema and model hooks"
+    )
+    p.add_argument("--op", default=None, help="show a single operator")
+    p.set_defaults(fn=cmd_ops)
 
     p = sub.add_parser("experiments", help="regenerate the paper's tables/figures")
     p.add_argument("--appendix", action="store_true")

@@ -53,11 +53,11 @@ def convert(training_graph: Graph, in_place: bool = False) -> ConvertedModel:
         in_place: mutate the given graph instead of deep-copying it first.
     """
     graph = training_graph if in_place else copy.deepcopy(training_graph)
-    graph.verify()
+    graph.validate()
     nodes_before = len(graph)
     bytes_before = graph.param_nbytes()
     changes = default_pipeline().run(graph)
-    graph.verify()
+    graph.validate()
     report = ConversionReport(
         nodes_before=nodes_before,
         nodes_after=len(graph),

@@ -22,9 +22,9 @@ from typing import Any, Sequence
 import numpy as np
 
 from repro.core.types import Activation, Padding
-from repro.graph import shapes
 from repro.graph.ir import Graph, TensorSpec
 from repro.kernels.batchnorm import BatchNormParams
+from repro.ops import infer_output_specs
 
 
 class GraphBuilder:
@@ -53,7 +53,7 @@ class GraphBuilder:
         attrs = attrs or {}
         params = params or {}
         input_specs = [self.graph.tensors[t] for t in inputs]
-        output_specs = shapes.infer_output_specs(op, input_specs, attrs, params)
+        output_specs = infer_output_specs(op, input_specs, attrs, params)
         node = self.graph.add_node(
             op, inputs, output_specs, attrs=attrs, params=params, name=name
         )
@@ -210,7 +210,7 @@ class GraphBuilder:
 
     # ---------------------------------------------------------- finalization
     def finish(self, *outputs: str) -> Graph:
-        """Set graph outputs, verify, and return the graph."""
+        """Set graph outputs, validate, and return the graph."""
         self.graph.outputs = list(outputs)
-        self.graph.verify()
+        self.graph.validate()
         return self.graph

@@ -4,386 +4,48 @@ This is the runtime-analog of the extended TensorFlow Lite interpreter.
 Bitpacked tensors flow as :class:`~repro.core.bitpack.PackedTensor` values;
 everything else as ``np.ndarray``.  The executor validates produced values
 against the graph's inferred specs, frees dead intermediates (unless asked
-to record them for the profiler), and dispatches to the kernels in
-:mod:`repro.core` and :mod:`repro.kernels`.
+to record them for the profiler), and resolves each node to a kernel
+through the :mod:`repro.ops` registry — the same kernel closures a
+:class:`~repro.runtime.plan.CompiledPlan` executes, compiled per node at
+construction time with a private :class:`~repro.ops.OpContext`.
 """
 
 from __future__ import annotations
 
 import time
-from typing import Any, Callable
+from typing import Any
 
 import numpy as np
 
-from repro.core.bconv2d import BConv2DParams, PackedFilters, bconv2d
 from repro.core.bitpack import PackedTensor
-from repro.core.bmaxpool import bmaxpool2d
-from repro.core.output_transform import OutputThresholds
-from repro.core.quantize_ops import lce_dequantize, lce_quantize
-from repro.core.types import Activation, OutputType, Padding
-from repro.graph.ir import Graph, GraphError, Node
-from repro.kernels import (
-    add,
-    avgpool2d,
-    batch_norm,
-    concat,
-    conv2d_float,
-    dense_float,
-    depthwise_conv2d_float,
-    global_avgpool,
-    maxpool2d,
-    mul,
-    relu,
-    relu6,
-    reshape,
-    softmax,
-)
+from repro.graph.ir import Graph
+from repro.ops import KernelFn, OpContext, check_value, compile_node
 
 Value = Any  # np.ndarray | PackedTensor
 
-_DISPATCH: dict[str, Callable[[Node, list[Value]], Value]] = {}
-
-
-def _op(name: str):
-    def deco(fn):
-        _DISPATCH[name] = fn
-        return fn
-
-    return deco
-
-
-# ------------------------------------------------------------- simple ops
-@_op("identity")
-def _run_identity(node: Node, ins: list[Value]) -> Value:
-    return ins[0]
-
-
-@_op("binarize")
-def _run_binarize(node: Node, ins: list[Value]) -> Value:
-    return np.where(np.asarray(ins[0]) < 0, np.float32(-1.0), np.float32(1.0))
-
-
-@_op("relu")
-def _run_relu(node: Node, ins: list[Value]) -> Value:
-    return relu(ins[0])
-
-
-@_op("relu6")
-def _run_relu6(node: Node, ins: list[Value]) -> Value:
-    return relu6(ins[0])
-
-
-@_op("softmax")
-def _run_softmax(node: Node, ins: list[Value]) -> Value:
-    return softmax(ins[0])
-
-
-@_op("sigmoid")
-def _run_sigmoid(node: Node, ins: list[Value]) -> Value:
-    x = np.asarray(ins[0], dtype=np.float32)
-    return (1.0 / (1.0 + np.exp(-x))).astype(np.float32)
-
-
-@_op("add")
-def _run_add(node: Node, ins: list[Value]) -> Value:
-    return add(ins[0], ins[1])
-
-
-@_op("mul")
-def _run_mul(node: Node, ins: list[Value]) -> Value:
-    return mul(ins[0], ins[1])
-
-
-@_op("concat")
-def _run_concat(node: Node, ins: list[Value]) -> Value:
-    return concat(list(ins), axis=int(node.attr("axis", -1)))
-
-
-@_op("pad_channels")
-def _run_pad_channels(node: Node, ins: list[Value]) -> Value:
-    before = int(node.attr("before", 0))
-    after = int(node.attr("after", 0))
-    x = np.asarray(ins[0])
-    pad = [(0, 0)] * (x.ndim - 1) + [(before, after)]
-    return np.pad(x, pad)
-
-
-@_op("reshape")
-def _run_reshape(node: Node, ins: list[Value]) -> Value:
-    return reshape(ins[0], tuple(node.attrs["shape"]))
-
-
-@_op("batch_norm")
-def _run_bn(node: Node, ins: list[Value]) -> Value:
-    return batch_norm(ins[0], node.params["bn"])
-
-
-# ------------------------------------------------------- float/int8 layers
-@_op("conv2d")
-def _run_conv2d(node: Node, ins: list[Value]) -> Value:
-    weights = node.params["weights"]
-    if node.attr("binary_weights"):
-        weights = np.where(weights < 0, np.float32(-1.0), np.float32(1.0))
-    return conv2d_float(
-        ins[0],
-        weights,
-        bias=node.params.get("bias"),
-        stride=int(node.attr("stride", 1)),
-        dilation=int(node.attr("dilation", 1)),
-        padding=Padding(node.attr("padding", Padding.SAME_ZERO)),
-        activation=Activation(node.attr("activation", Activation.NONE)),
-    )
-
-
-@_op("depthwise_conv2d")
-def _run_depthwise(node: Node, ins: list[Value]) -> Value:
-    return depthwise_conv2d_float(
-        ins[0],
-        node.params["weights"],
-        bias=node.params.get("bias"),
-        stride=int(node.attr("stride", 1)),
-        dilation=int(node.attr("dilation", 1)),
-        padding=Padding(node.attr("padding", Padding.SAME_ZERO)),
-        activation=Activation(node.attr("activation", Activation.NONE)),
-    )
-
-
-@_op("dense")
-def _run_dense(node: Node, ins: list[Value]) -> Value:
-    return dense_float(
-        ins[0],
-        node.params["weights"],
-        bias=node.params.get("bias"),
-        activation=Activation(node.attr("activation", Activation.NONE)),
-    )
-
-
-@_op("maxpool2d")
-def _run_maxpool(node: Node, ins: list[Value]) -> Value:
-    out = maxpool2d(
-        ins[0],
-        int(node.attrs["pool_h"]),
-        int(node.attrs["pool_w"]),
-        stride=node.attr("stride"),
-        padding=Padding(node.attr("padding", Padding.VALID)),
-    )
-    # Max pooling commutes with quantization: int8 in, int8 out.
-    if isinstance(ins[0], np.ndarray) and ins[0].dtype == np.int8:
-        return out.astype(np.int8)
-    return out
-
-
-@_op("avgpool2d")
-def _run_avgpool(node: Node, ins: list[Value]) -> Value:
-    return avgpool2d(
-        ins[0],
-        int(node.attrs["pool_h"]),
-        int(node.attrs["pool_w"]),
-        stride=node.attr("stride"),
-        padding=Padding(node.attr("padding", Padding.VALID)),
-    )
-
-
-@_op("global_avgpool")
-def _run_gap(node: Node, ins: list[Value]) -> Value:
-    return global_avgpool(ins[0])
-
-
-# ---------------------------------------------------------------- int8 ops
-@_op("quantize_int8")
-def _run_quantize_int8(node: Node, ins: list[Value]) -> Value:
-    from repro.kernels.quantization import QuantParams, quantize
-
-    return quantize(
-        ins[0], QuantParams(node.attrs["scale"], int(node.attrs["zero_point"]))
-    )
-
-
-@_op("dequantize_int8")
-def _run_dequantize_int8(node: Node, ins: list[Value]) -> Value:
-    from repro.kernels.quantization import QuantParams, dequantize
-
-    return dequantize(
-        ins[0], QuantParams(node.attrs["scale"], int(node.attrs["zero_point"]))
-    )
-
-
-@_op("requantize_int8")
-def _run_requantize_int8(node: Node, ins: list[Value]) -> Value:
-    from repro.kernels.quantization import QuantParams, dequantize, quantize
-
-    real = dequantize(
-        ins[0], QuantParams(node.attrs["in_scale"], int(node.attrs["in_zero_point"]))
-    )
-    return quantize(
-        real, QuantParams(node.attrs["out_scale"], int(node.attrs["out_zero_point"]))
-    )
-
-
-def _int8_activation_clamp(q: np.ndarray, node: Node) -> np.ndarray:
-    """Fused activation in the quantized domain: clamp at the zero point."""
-    activation = Activation(node.attr("activation", Activation.NONE))
-    if activation is Activation.NONE:
-        return q
-    zp = np.int8(node.attrs["out_zero_point"])
-    q = np.maximum(q, zp)
-    if activation is Activation.RELU6:
-        from repro.kernels.quantization import INT8_MAX
-
-        six = node.attrs["out_zero_point"] + 6.0 / node.attrs["out_scale"]
-        q = np.minimum(q, np.int8(min(round(six), INT8_MAX)))
-    return q
-
-
-@_op("relu_int8")
-def _run_relu_int8(node: Node, ins: list[Value]) -> Value:
-    # relu in the quantized domain: clamp at the zero point.
-    zp = np.int8(node.attrs["zero_point"])
-    return np.maximum(ins[0], zp)
-
-
-@_op("add_int8")
-def _run_add_int8(node: Node, ins: list[Value]) -> Value:
-    from repro.kernels.quantization import QuantParams, dequantize, quantize
-
-    a = dequantize(
-        ins[0], QuantParams(node.attrs["a_scale"], int(node.attrs["a_zero_point"]))
-    )
-    b = dequantize(
-        ins[1], QuantParams(node.attrs["b_scale"], int(node.attrs["b_zero_point"]))
-    )
-    return quantize(
-        a + b, QuantParams(node.attrs["out_scale"], int(node.attrs["out_zero_point"]))
-    )
-
-
-@_op("conv2d_int8")
-def _run_conv2d_int8(node: Node, ins: list[Value]) -> Value:
-    from repro.kernels.conv2d import conv2d_int8
-    from repro.kernels.quantization import QuantParams
-
-    out = conv2d_int8(
-        ins[0],
-        node.params["weights_q"],
-        QuantParams(node.attrs["in_scale"], int(node.attrs["in_zero_point"])),
-        node.params["w_scales"],
-        QuantParams(node.attrs["out_scale"], int(node.attrs["out_zero_point"])),
-        bias_q=node.params.get("bias_q"),
-        stride=int(node.attr("stride", 1)),
-        dilation=int(node.attr("dilation", 1)),
-        padding=Padding(node.attr("padding", Padding.SAME_ZERO)),
-    )
-    return _int8_activation_clamp(out, node)
-
-
-@_op("dense_int8")
-def _run_dense_int8(node: Node, ins: list[Value]) -> Value:
-    from repro.kernels.dense import dense_int8
-    from repro.kernels.quantization import QuantParams
-
-    out = dense_int8(
-        ins[0],
-        node.params["weights_q"],
-        QuantParams(node.attrs["in_scale"], int(node.attrs["in_zero_point"])),
-        node.params["w_scales"],
-        QuantParams(node.attrs["out_scale"], int(node.attrs["out_zero_point"])),
-        bias_q=node.params.get("bias_q"),
-    )
-    return _int8_activation_clamp(out, node)
-
-
-# ----------------------------------------------------------------- LCE ops
-@_op("lce_quantize")
-def _run_lce_quantize(node: Node, ins: list[Value]) -> Value:
-    return lce_quantize(ins[0])
-
-
-@_op("lce_dequantize")
-def _run_lce_dequantize(node: Node, ins: list[Value]) -> Value:
-    return lce_dequantize(ins[0])
-
-
-@_op("lce_bconv2d")
-def _run_lce_bconv2d(node: Node, ins: list[Value]) -> Value:
-    a = node.attrs
-    params = BConv2DParams(
-        kernel_h=int(a["kernel_h"]),
-        kernel_w=int(a["kernel_w"]),
-        in_channels=int(a["in_channels"]),
-        out_channels=int(a["out_channels"]),
-        stride=int(a.get("stride", 1)),
-        dilation=int(a.get("dilation", 1)),
-        padding=Padding(a.get("padding", Padding.SAME_ONE)),
-        groups=int(a.get("groups", 1)),
-    )
-    filters = PackedFilters(
-        bits=node.params["filter_bits"],
-        kernel_h=params.kernel_h,
-        kernel_w=params.kernel_w,
-        in_channels=params.in_channels // params.groups,
-    )
-    thresholds = None
-    if "threshold" in node.params:
-        thresholds = OutputThresholds(
-            threshold=node.params["threshold"], flip=node.params["threshold_flip"]
-        )
-    return bconv2d(
-        ins[0],
-        filters,
-        params,
-        multiplier=node.params.get("multiplier"),
-        bias=node.params.get("bias"),
-        activation=Activation(a.get("activation", Activation.NONE)),
-        scale_before_activation=bool(a.get("scale_before_activation", True)),
-        output_type=OutputType(a.get("output_type", OutputType.FLOAT)),
-        thresholds=thresholds,
-        padding_correction=node.params.get("padding_correction"),
-        int8_output_scale=a.get("int8_output_scale"),
-        int8_output_zero_point=int(a.get("int8_output_zero_point", 0)),
-    )
-
-
-@_op("lce_bmaxpool2d")
-def _run_lce_bmaxpool(node: Node, ins: list[Value]) -> Value:
-    return bmaxpool2d(
-        ins[0],
-        int(node.attrs["pool_h"]),
-        int(node.attrs["pool_w"]),
-        stride=node.attr("stride"),
-        padding=Padding(node.attr("padding", Padding.VALID)),
-    )
-
-
-def _check_value(value: Value, spec, tensor: str) -> None:
-    if spec.dtype == "bitpacked":
-        if not isinstance(value, PackedTensor):
-            raise GraphError(f"{tensor}: expected PackedTensor, got {type(value)}")
-        if value.shape != spec.shape:
-            raise GraphError(f"{tensor}: shape {value.shape} != spec {spec.shape}")
-    else:
-        if not isinstance(value, np.ndarray):
-            raise GraphError(f"{tensor}: expected ndarray, got {type(value)}")
-        if tuple(value.shape) != spec.shape:
-            raise GraphError(f"{tensor}: shape {value.shape} != spec {spec.shape}")
+# Historical alias; plan execution and tests import the same check.
+_check_value = check_value
 
 
 class Executor:
     """Interprets a graph over NumPy inputs.
 
     Args:
-        graph: a verified graph.
+        graph: a validated graph.
         record_values: keep every intermediate tensor in :attr:`values`
             (for debugging / the profiler); otherwise dead values are freed
             as execution proceeds.
     """
 
     def __init__(self, graph: Graph, record_values: bool = False) -> None:
-        graph.verify()
+        graph.validate()
         self.graph = graph
         self.record_values = record_values
         self.values: dict[str, Value] = {}
         #: wall-clock seconds spent per node in the last run.
         self.node_times: dict[str, float] = {}
+        ctx = OpContext()
+        self._kernels: list[KernelFn] = [compile_node(n, ctx) for n in graph.nodes]
 
     def run(self, *inputs: Value) -> Value | tuple[Value, ...]:
         """Execute the graph; returns the output value(s)."""
@@ -407,22 +69,19 @@ class Executor:
                 and spec.dtype != "bitpacked"
             ):
                 value = np.asarray(value, dtype=spec.dtype)
-            _check_value(value, self.graph.tensors[name], name)
+            check_value(value, self.graph.tensors[name], name)
             values[name] = value
 
         self.node_times.clear()
         for idx, node in enumerate(self.graph.nodes):
-            try:
-                fn = _DISPATCH[node.op]
-            except KeyError:
-                raise GraphError(f"no kernel for op {node.op!r}") from None
+            fn = self._kernels[idx]
             ins = [values[t] for t in node.inputs]
             start = time.perf_counter()
-            out = fn(node, ins)
+            out = fn(ins)
             self.node_times[node.name] = time.perf_counter() - start
             outs = out if isinstance(out, tuple) else (out,)
             for t, v in zip(node.outputs, outs):
-                _check_value(v, self.graph.tensors[t], t)
+                check_value(v, self.graph.tensors[t], t)
                 values[t] = v
             if not self.record_values:
                 for t in node.inputs:

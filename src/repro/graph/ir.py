@@ -252,6 +252,21 @@ class Graph:
             if t not in produced:
                 raise GraphError(f"tensor spec {t!r} has no producer")
 
+    def validate(self) -> None:
+        """Structural invariants plus registry validation of every node.
+
+        On top of :meth:`verify`, checks that each node's operator is
+        registered in :mod:`repro.ops`, its attributes satisfy the op's
+        declared schema, and a latency model exists (or the op is
+        explicitly cost-exempt).  Raises :class:`GraphError` naming the
+        offending node.  Runs at every executor/plan construction and at
+        convert/save/load time, so malformed graphs fail before execution.
+        """
+        self.verify()
+        from repro.ops import validate_graph  # local import: ops imports this module
+
+        validate_graph(self)
+
     # ----------------------------------------------------------------- misc
     def param_nbytes(self) -> int:
         """Total parameter storage of the graph (the model size)."""

@@ -100,8 +100,13 @@ def _decode_param(entry: dict[str, Any], buffers: bytes) -> Any:
 
 # -------------------------------------------------------------------- model
 def save_model(graph: Graph, path: str | Path) -> int:
-    """Serialize a graph; returns the file size in bytes."""
-    graph.verify()
+    """Serialize a graph; returns the file size in bytes.
+
+    Validation includes each op's declared attribute schema (see
+    :mod:`repro.ops`): a graph whose attributes would not round-trip
+    through the schema is rejected before any bytes are written.
+    """
+    graph.validate()
     writer = _BufferWriter()
     nodes = []
     for node in graph.nodes:
@@ -173,5 +178,5 @@ def load_model(path: str | Path) -> Graph:
                 },
             )
         )
-    graph.verify()
+    graph.validate()
     return graph

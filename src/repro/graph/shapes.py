@@ -1,289 +1,22 @@
-"""Per-op shape and dtype inference.
+"""Per-op shape and dtype inference (registry facade).
 
-One function per operator computes output :class:`TensorSpec` objects from
-input specs, attributes and parameters.  Used by the builder (so graphs are
-shape-checked as they are constructed), by the verifier, and by the latency
-model (which needs tensor geometry without running anything).
+Shape inference lives on each op's :class:`~repro.ops.registry.OpSpec`;
+this module keeps the historical entry points used by the builder, the
+verifier, the latency model and batch re-inference.
 """
 
 from __future__ import annotations
 
-from typing import Any, Callable
+from typing import Any
 
-import numpy as np
-
-from repro.core.im2col import conv_geometry
-from repro.core.types import Padding
-from repro.graph.ir import GraphError, TensorSpec
-
-_InferFn = Callable[[list[TensorSpec], dict[str, Any], dict[str, Any]], list[TensorSpec]]
-
-_REGISTRY: dict[str, _InferFn] = {}
+from repro.ops import infer_output_specs as _infer_output_specs
+from repro.ops import op_names
 
 
-def register(op: str):
-    def deco(fn: _InferFn) -> _InferFn:
-        _REGISTRY[op] = fn
-        return fn
-
-    return deco
-
-
-def infer_output_specs(
-    op: str,
-    input_specs: list[TensorSpec],
-    attrs: dict[str, Any],
-    params: dict[str, Any],
-) -> list[TensorSpec]:
+def infer_output_specs(op, input_specs, attrs: dict[str, Any], params: dict[str, Any]):
     """Infer output specs; raise :class:`GraphError` on invalid ops."""
-    try:
-        fn = _REGISTRY[op]
-    except KeyError:
-        raise GraphError(f"no shape inference for op {op!r}") from None
-    return fn(input_specs, attrs, params)
+    return _infer_output_specs(op, input_specs, attrs, params)
 
 
 def supported_ops() -> tuple[str, ...]:
-    return tuple(sorted(_REGISTRY))
-
-
-def _nhwc(spec: TensorSpec, op: str) -> tuple[int, int, int, int]:
-    if len(spec.shape) != 4:
-        raise GraphError(f"{op} expects NHWC input, got shape {spec.shape}")
-    return spec.shape  # type: ignore[return-value]
-
-
-def _conv_out(
-    spec: TensorSpec, kh: int, kw: int, attrs: dict[str, Any], op: str
-) -> tuple[int, int, int]:
-    n, h, w, _ = _nhwc(spec, op)
-    geom = conv_geometry(
-        h, w, kh, kw,
-        int(attrs.get("stride", 1)),
-        int(attrs.get("dilation", 1)),
-        Padding(attrs.get("padding", Padding.SAME_ZERO)),
-    )
-    return n, geom.out_h, geom.out_w
-
-
-# ------------------------------------------------------------------ elementwise
-def _same_shape(specs, attrs, params):
-    return [TensorSpec(specs[0].shape, specs[0].dtype)]
-
-
-for _op in ("relu", "relu6", "softmax", "sigmoid", "binarize", "identity"):
-    register(_op)(_same_shape)
-
-
-@register("batch_norm")
-def _bn(specs, attrs, params):
-    bn = params["bn"]
-    if np.shape(bn.gamma)[0] != specs[0].shape[-1]:
-        raise GraphError(
-            f"batch_norm channels {np.shape(bn.gamma)[0]} != input {specs[0].shape[-1]}"
-        )
-    return [TensorSpec(specs[0].shape, specs[0].dtype)]
-
-
-@register("add")
-@register("mul")
-def _binary_elementwise(specs, attrs, params):
-    if len(specs) != 2:
-        raise GraphError("add/mul take exactly two inputs")
-    try:
-        shape = tuple(
-            int(d) for d in np.broadcast_shapes(specs[0].shape, specs[1].shape)
-        )
-    except ValueError:
-        raise GraphError(
-            f"shapes not broadcastable: {specs[0].shape} vs {specs[1].shape}"
-        ) from None
-    return [TensorSpec(shape, specs[0].dtype)]
-
-
-@register("concat")
-def _concat(specs, attrs, params):
-    axis = int(attrs.get("axis", -1)) % len(specs[0].shape)
-    base = list(specs[0].shape)
-    total = 0
-    for s in specs:
-        dims = list(s.shape)
-        if dims[:axis] + dims[axis + 1 :] != base[:axis] + base[axis + 1 :]:
-            raise GraphError(f"concat shape mismatch: {s.shape} vs {specs[0].shape}")
-        total += dims[axis]
-    base[axis] = total
-    return [TensorSpec(tuple(base), specs[0].dtype)]
-
-
-@register("pad_channels")
-def _pad_channels(specs, attrs, params):
-    before = int(attrs.get("before", 0))
-    after = int(attrs.get("after", 0))
-    if before < 0 or after < 0:
-        raise GraphError("pad_channels amounts must be non-negative")
-    shape = specs[0].shape[:-1] + (specs[0].shape[-1] + before + after,)
-    return [TensorSpec(shape, specs[0].dtype)]
-
-
-@register("reshape")
-def _reshape(specs, attrs, params):
-    shape = tuple(int(d) for d in attrs["shape"])
-    if int(np.prod(shape)) != specs[0].num_elements:
-        raise GraphError(f"reshape {specs[0].shape} -> {shape} changes element count")
-    return [TensorSpec(shape, specs[0].dtype)]
-
-
-# ---------------------------------------------------------------- convolutions
-@register("conv2d")
-def _conv2d(specs, attrs, params):
-    w = params["weights"]
-    kh, kw, cin, cout = w.shape
-    if specs[0].shape[-1] != cin:
-        raise GraphError(f"conv2d input channels {specs[0].shape[-1]} != {cin}")
-    n, oh, ow = _conv_out(specs[0], kh, kw, attrs, "conv2d")
-    return [TensorSpec((n, oh, ow, cout), specs[0].dtype)]
-
-
-@register("depthwise_conv2d")
-def _depthwise(specs, attrs, params):
-    w = params["weights"]
-    kh, kw, c = w.shape
-    if specs[0].shape[-1] != c:
-        raise GraphError(f"depthwise input channels {specs[0].shape[-1]} != {c}")
-    n, oh, ow = _conv_out(specs[0], kh, kw, attrs, "depthwise_conv2d")
-    return [TensorSpec((n, oh, ow, c), specs[0].dtype)]
-
-
-@register("dense")
-def _dense(specs, attrs, params):
-    w = params["weights"]
-    if specs[0].shape[-1] != w.shape[0]:
-        raise GraphError(f"dense input features {specs[0].shape[-1]} != {w.shape[0]}")
-    return [TensorSpec(specs[0].shape[:-1] + (w.shape[1],), specs[0].dtype)]
-
-
-# --------------------------------------------------------------------- pooling
-def _pool(specs, attrs, params, op):
-    ph, pw = int(attrs["pool_h"]), int(attrs["pool_w"])
-    stride = int(attrs.get("stride") or max(ph, pw))
-    n, h, w, c = _nhwc(specs[0], op)
-    geom = conv_geometry(
-        h, w, ph, pw, stride, 1, Padding(attrs.get("padding", Padding.VALID))
-    )
-    return [TensorSpec((n, geom.out_h, geom.out_w, c), specs[0].dtype)]
-
-
-@register("maxpool2d")
-def _maxpool(specs, attrs, params):
-    return _pool(specs, attrs, params, "maxpool2d")
-
-
-@register("avgpool2d")
-def _avgpool(specs, attrs, params):
-    return _pool(specs, attrs, params, "avgpool2d")
-
-
-@register("global_avgpool")
-def _gap(specs, attrs, params):
-    n, _, _, c = _nhwc(specs[0], "global_avgpool")
-    return [TensorSpec((n, c), specs[0].dtype)]
-
-
-# ---------------------------------------------------------------- int8 ops
-@register("quantize_int8")
-def _quantize_int8(specs, attrs, params):
-    if specs[0].dtype != "float32":
-        raise GraphError("quantize_int8 expects float32 input")
-    return [TensorSpec(specs[0].shape, "int8")]
-
-
-@register("dequantize_int8")
-def _dequantize_int8(specs, attrs, params):
-    if specs[0].dtype != "int8":
-        raise GraphError("dequantize_int8 expects int8 input")
-    return [TensorSpec(specs[0].shape, "float32")]
-
-
-@register("requantize_int8")
-def _requantize_int8(specs, attrs, params):
-    if specs[0].dtype != "int8":
-        raise GraphError("requantize_int8 expects int8 input")
-    return [TensorSpec(specs[0].shape, "int8")]
-
-
-@register("relu_int8")
-def _relu_int8(specs, attrs, params):
-    if specs[0].dtype != "int8":
-        raise GraphError("relu_int8 expects int8 input")
-    return [TensorSpec(specs[0].shape, "int8")]
-
-
-@register("add_int8")
-def _add_int8(specs, attrs, params):
-    if len(specs) != 2 or any(sp.dtype != "int8" for sp in specs):
-        raise GraphError("add_int8 takes two int8 inputs")
-    if specs[0].shape != specs[1].shape:
-        raise GraphError(f"shape mismatch: {specs[0].shape} vs {specs[1].shape}")
-    return [TensorSpec(specs[0].shape, "int8")]
-
-
-@register("conv2d_int8")
-def _conv2d_int8(specs, attrs, params):
-    if specs[0].dtype != "int8":
-        raise GraphError("conv2d_int8 expects int8 input")
-    w = params["weights_q"]
-    kh, kw, cin, cout = w.shape
-    if specs[0].shape[-1] != cin:
-        raise GraphError(f"conv2d_int8 input channels {specs[0].shape[-1]} != {cin}")
-    n, oh, ow = _conv_out(specs[0], kh, kw, attrs, "conv2d_int8")
-    return [TensorSpec((n, oh, ow, cout), "int8")]
-
-
-@register("dense_int8")
-def _dense_int8(specs, attrs, params):
-    if specs[0].dtype != "int8":
-        raise GraphError("dense_int8 expects int8 input")
-    w = params["weights_q"]
-    if specs[0].shape[-1] != w.shape[0]:
-        raise GraphError(f"dense_int8 input features {specs[0].shape[-1]} != {w.shape[0]}")
-    return [TensorSpec(specs[0].shape[:-1] + (w.shape[1],), "int8")]
-
-
-# ------------------------------------------------------------------- LCE ops
-@register("lce_quantize")
-def _lce_quantize(specs, attrs, params):
-    if specs[0].dtype == "bitpacked":
-        raise GraphError("lce_quantize input is already bitpacked")
-    return [TensorSpec(specs[0].shape, "bitpacked")]
-
-
-@register("lce_dequantize")
-def _lce_dequantize(specs, attrs, params):
-    if specs[0].dtype != "bitpacked":
-        raise GraphError("lce_dequantize expects bitpacked input")
-    return [TensorSpec(specs[0].shape, "float32")]
-
-
-@register("lce_bconv2d")
-def _lce_bconv2d(specs, attrs, params):
-    if specs[0].dtype != "bitpacked":
-        raise GraphError("lce_bconv2d expects bitpacked input")
-    kh = int(attrs["kernel_h"])
-    kw = int(attrs["kernel_w"])
-    cin = int(attrs["in_channels"])
-    cout = int(attrs["out_channels"])
-    if specs[0].shape[-1] != cin:
-        raise GraphError(f"lce_bconv2d input channels {specs[0].shape[-1]} != {cin}")
-    n, oh, ow = _conv_out(specs[0], kh, kw, attrs, "lce_bconv2d")
-    out_dtype = {
-        "bitpacked": "bitpacked",
-        "int8": "int8",
-    }.get(str(attrs.get("output_type", "float")), "float32")
-    return [TensorSpec((n, oh, ow, cout), out_dtype)]
-
-
-@register("lce_bmaxpool2d")
-def _lce_bmaxpool(specs, attrs, params):
-    if specs[0].dtype != "bitpacked":
-        raise GraphError("lce_bmaxpool2d expects bitpacked input")
-    return _pool(specs, attrs, params, "lce_bmaxpool2d")
+    return op_names()

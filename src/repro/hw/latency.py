@@ -6,16 +6,19 @@ output-transformation stages (the stages of ``LceBConv2d`` in the paper's
 Section 3.2); everything else is bandwidth-like.  All rates come from the
 :class:`~repro.hw.device.DeviceModel` profile.
 
-Each estimate returns a :class:`LatencyBreakdown`, so experiments can split
-a convolution into its accumulation loop and output transformation — the
-subdivision paper Table 4 reports.
+The per-op formulas live on each operator's
+:class:`~repro.ops.registry.OpSpec` cost hook; this module owns the shared
+machinery those hooks compose — :class:`LatencyBreakdown`, the convolution
+roofline :func:`conv_cost`, :func:`bandwidth_cost` and the tuning
+constants — plus graph-level aggregation.  Each estimate returns a
+:class:`LatencyBreakdown`, so experiments can split a convolution into its
+accumulation loop and output transformation — the subdivision paper
+Table 4 reports.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-
-import numpy as np
 
 from repro.core.im2col import conv_geometry
 from repro.core.types import Padding
@@ -25,18 +28,19 @@ from repro.hw.device import DeviceModel
 _BYTES = {"float32": 4.0, "int8": 1.0, "int32": 4.0}
 
 #: depthwise convolutions vectorize poorly relative to dense GEMMs
-_DEPTHWISE_EFFICIENCY = 0.6
+DEPTHWISE_EFFICIENCY = 0.6
 #: softmax-ish transcendental ops, elements per cycle
-_EXP_ELEMS_PER_CYCLE = 0.25
+EXP_ELEMS_PER_CYCLE = 0.25
 #: bitwise-AND pooling processes packed words ~4x faster than float pooling
-_BPOOL_WORD_SPEEDUP = 4.0
+BPOOL_WORD_SPEEDUP = 4.0
 #: parallel efficiency of compute-bound GEMM stages per extra thread (Ruy)
 _GEMM_PARALLEL_EFFICIENCY = 0.85
 #: bandwidth-bound stages saturate shared DRAM and scale worse
 _BANDWIDTH_PARALLEL_EFFICIENCY = 0.45
 
 
-def _words(channels: int) -> int:
+def words_per_pixel(channels: int) -> int:
+    """uint64 words per pixel of a bitpacked tensor with ``channels``."""
     return -(-channels // 64)
 
 
@@ -167,7 +171,7 @@ def conv_cost(
     compute_cycles = macs / mpc
 
     if bitpacked_output:
-        out_elem_bytes = _words(out_channels) * 8.0 / out_channels
+        out_elem_bytes = words_per_pixel(out_channels) * 8.0 / out_channels
     elif int8_output or precision == "int8":
         out_elem_bytes = _BYTES["int8"]
     else:
@@ -202,15 +206,12 @@ def conv_cost(
     )
 
 
-def _bandwidth_cost(device: DeviceModel, bytes_touched: float) -> LatencyBreakdown:
+def bandwidth_cost(device: DeviceModel, bytes_touched: float) -> LatencyBreakdown:
+    """Bandwidth-bound cost of touching ``bytes_touched`` bytes once."""
     cycles = bytes_touched / device.eltwise_bytes_per_cycle
     return LatencyBreakdown(
         overhead_s=device.op_overhead_s, other_s=device.cycles_to_seconds(cycles)
     )
-
-
-def _spec_bytes(spec: TensorSpec) -> float:
-    return float(spec.nbytes)
 
 
 # ----------------------------------------------------------- per-node costs
@@ -220,151 +221,10 @@ def node_latency(
     input_specs: list[TensorSpec],
     output_specs: list[TensorSpec],
 ) -> LatencyBreakdown:
-    """Latency estimate for one graph node."""
-    op = node.op
-    if op in ("conv2d", "lce_bconv2d"):
-        spec = input_specs[0]
-        n, h, w, _ = spec.shape
-        if op == "conv2d":
-            kh, kw, cin, cout = node.params["weights"].shape
-            precision = "float32"
-            bitpacked_output = False
-            int8_out = False
-            fused = False
-            zero_corr = False
-        else:
-            kh = int(node.attrs["kernel_h"])
-            kw = int(node.attrs["kernel_w"])
-            cin = int(node.attrs["in_channels"])
-            cout = int(node.attrs["out_channels"])
-            precision = "binary"
-            bitpacked_output = node.attr("output_type") == "bitpacked"
-            int8_out = node.attr("output_type") == "int8"
-            fused = node.params.get("multiplier") is not None
-            zero_corr = node.params.get("padding_correction") is not None
-        return conv_cost(
-            device,
-            precision,
-            n, h, w, cin, cout, kh, kw,
-            stride=int(node.attr("stride", 1)),
-            dilation=int(node.attr("dilation", 1)),
-            padding=Padding(node.attr("padding", Padding.SAME_ZERO)),
-            bitpacked_output=bitpacked_output,
-            fused_transform=fused,
-            zero_padding_correction=zero_corr,
-            int8_output=int8_out,
-        )
-    if op == "depthwise_conv2d":
-        spec = output_specs[0]
-        kh, kw, c = node.params["weights"].shape
-        macs = float(np.prod(spec.shape)) * kh * kw
-        mpc = device.sustained_macs_per_cycle["float32"] * _DEPTHWISE_EFFICIENCY
-        cycles = macs / mpc
-        return LatencyBreakdown(
-            overhead_s=device.op_overhead_s,
-            accumulation_s=device.cycles_to_seconds(cycles),
-        )
-    if op == "dense":
-        w = node.params["weights"]
-        macs = float(np.prod(output_specs[0].shape[:-1])) * w.shape[0] * w.shape[1]
-        weight_bytes = float(w.shape[0] * w.shape[1] * 4)
-        compute = macs / device.sustained("float32", weight_bytes)
-        memory = weight_bytes / device.dram_bytes_per_cycle
-        return LatencyBreakdown(
-            overhead_s=device.op_overhead_s,
-            accumulation_s=device.cycles_to_seconds(max(compute, memory)),
-            memory_bound=memory > compute,
-        )
-    if op == "conv2d_int8":
-        spec = input_specs[0]
-        n, h, w, _ = spec.shape
-        kh, kw, cin, cout = node.params["weights_q"].shape
-        return conv_cost(
-            device, "int8", n, h, w, cin, cout, kh, kw,
-            stride=int(node.attr("stride", 1)),
-            dilation=int(node.attr("dilation", 1)),
-            padding=Padding(node.attr("padding", Padding.SAME_ZERO)),
-        )
-    if op == "dense_int8":
-        w = node.params["weights_q"]
-        macs = float(np.prod(output_specs[0].shape[:-1])) * w.shape[0] * w.shape[1]
-        weight_bytes = float(w.shape[0] * w.shape[1])
-        compute = macs / device.sustained("int8", weight_bytes)
-        memory = weight_bytes / device.dram_bytes_per_cycle
-        return LatencyBreakdown(
-            overhead_s=device.op_overhead_s,
-            accumulation_s=device.cycles_to_seconds(max(compute, memory)),
-            memory_bound=memory > compute,
-        )
-    if op == "relu_int8":
-        touched = _spec_bytes(input_specs[0]) + _spec_bytes(output_specs[0])
-        return _bandwidth_cost(device, touched)
-    if op == "add_int8":
-        touched = sum(_spec_bytes(sp) for sp in input_specs) + _spec_bytes(
-            output_specs[0]
-        )
-        return _bandwidth_cost(device, touched)
-    if op in ("quantize_int8", "dequantize_int8", "requantize_int8"):
-        touched = _spec_bytes(input_specs[0]) + _spec_bytes(output_specs[0])
-        cycles = touched / device.eltwise_bytes_per_cycle
-        return LatencyBreakdown(
-            overhead_s=device.op_overhead_s,
-            transform_s=device.cycles_to_seconds(cycles),
-        )
-    if op == "lce_quantize":
-        return LatencyBreakdown(
-            overhead_s=device.op_overhead_s,
-            transform_s=device.cycles_to_seconds(
-                _spec_bytes(input_specs[0]) / device.pack_bytes_per_cycle
-            ),
-        )
-    if op == "lce_dequantize":
-        return LatencyBreakdown(
-            overhead_s=device.op_overhead_s,
-            transform_s=device.cycles_to_seconds(
-                _spec_bytes(output_specs[0]) / device.pack_bytes_per_cycle
-            ),
-        )
-    if op == "lce_bmaxpool2d":
-        spec = output_specs[0]
-        n, oh, ow, c = spec.shape
-        window = int(node.attrs["pool_h"]) * int(node.attrs["pool_w"])
-        word_ops = float(n * oh * ow * window * _words(c))
-        cycles = word_ops / (device.pool_elems_per_cycle * _BPOOL_WORD_SPEEDUP)
-        return LatencyBreakdown(
-            overhead_s=device.op_overhead_s, other_s=device.cycles_to_seconds(cycles)
-        )
-    if op in ("maxpool2d", "avgpool2d"):
-        spec = output_specs[0]
-        window = int(node.attrs["pool_h"]) * int(node.attrs["pool_w"])
-        elems = float(np.prod(spec.shape)) * window
-        cycles = elems / device.pool_elems_per_cycle
-        return LatencyBreakdown(
-            overhead_s=device.op_overhead_s, other_s=device.cycles_to_seconds(cycles)
-        )
-    if op == "global_avgpool":
-        return _bandwidth_cost(device, _spec_bytes(input_specs[0]))
-    if op in ("add", "mul"):
-        touched = sum(_spec_bytes(s) for s in input_specs) + _spec_bytes(output_specs[0])
-        return _bandwidth_cost(device, touched)
-    if op in ("batch_norm", "relu", "relu6", "binarize"):
-        touched = _spec_bytes(input_specs[0]) + _spec_bytes(output_specs[0])
-        return _bandwidth_cost(device, touched)
-    if op in ("softmax", "sigmoid"):
-        elems = float(output_specs[0].num_elements)
-        return LatencyBreakdown(
-            overhead_s=device.op_overhead_s,
-            other_s=device.cycles_to_seconds(elems / _EXP_ELEMS_PER_CYCLE),
-        )
-    if op == "pad_channels":
-        touched = _spec_bytes(input_specs[0]) + _spec_bytes(output_specs[0])
-        return _bandwidth_cost(device, touched)
-    if op == "concat":
-        touched = 2 * _spec_bytes(output_specs[0])
-        return _bandwidth_cost(device, touched)
-    if op in ("reshape", "identity"):
-        return LatencyBreakdown(overhead_s=device.op_overhead_s)
-    raise ValueError(f"no latency model for op {node.op!r}")
+    """Latency estimate for one graph node, via its registered cost hook."""
+    from repro.ops import node_cost  # local import: op cost hooks import us
+
+    return node_cost(device, node, input_specs, output_specs)
 
 
 @dataclass(frozen=True)

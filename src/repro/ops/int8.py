@@ -1,0 +1,323 @@
+"""Int8 (post-training-quantization) op specs."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.types import Activation, Padding
+from repro.graph.ir import GraphError, TensorSpec
+from repro.ops.common import (
+    conv_out,
+    eltwise_cost,
+    enum_attr,
+    float_attr,
+    int_attr,
+    optional_float_attr,
+)
+from repro.ops.registry import Attrs, OpSpec, register
+
+
+def _require_int8(specs, op: str, arity: int = 1) -> None:
+    if len(specs) != arity or any(sp.dtype != "int8" for sp in specs[:arity]):
+        kind = "two int8 inputs" if arity == 2 else "int8 input"
+        raise GraphError(f"{op} {'takes' if arity == 2 else 'expects'} {kind}")
+
+
+def _requant_cost(device, node, p, input_specs, output_specs):
+    """affine (re)quantization pass over the tensor (transform stage)"""
+    from repro.hw.latency import LatencyBreakdown
+
+    touched = float(input_specs[0].nbytes + output_specs[0].nbytes)
+    cycles = touched / device.eltwise_bytes_per_cycle
+    return LatencyBreakdown(
+        overhead_s=device.op_overhead_s,
+        transform_s=device.cycles_to_seconds(cycles),
+    )
+
+
+def _int8_clamp(p: Attrs):
+    """Compile the fused int8 activation clamp (zero-point relu / relu6)."""
+    if p.activation is Activation.NONE:
+        return lambda q: q
+    zp = np.int8(p.out_zero_point)
+    if p.activation is Activation.RELU6:
+        from repro.kernels.quantization import INT8_MAX
+
+        six = p.out_zero_point + 6.0 / p.out_scale
+        top = np.int8(min(round(six), INT8_MAX))
+        return lambda q: np.minimum(np.maximum(q, zp), top)
+    return lambda q: np.maximum(q, zp)
+
+
+# ------------------------------------------------------ scale conversions
+def _infer_quantize(specs, p, params):
+    """float32 in, int8 out"""
+    if specs[0].dtype != "float32":
+        raise GraphError("quantize_int8 expects float32 input")
+    return [TensorSpec(specs[0].shape, "int8")]
+
+
+def _quantize_kernel(node, p, ctx):
+    from repro.kernels.quantization import QuantParams, quantize
+
+    qp = QuantParams(p.scale, p.zero_point)
+    return lambda ins: quantize(ins[0], qp)
+
+
+register(
+    OpSpec(
+        name="quantize_int8",
+        doc="affine float32 -> int8 quantization",
+        attrs=(
+            float_attr("scale", required=True),
+            int_attr("zero_point", required=True),
+        ),
+        infer=_infer_quantize,
+        kernel=_quantize_kernel,
+        cost=_requant_cost,
+    )
+)
+
+
+def _infer_dequantize(specs, p, params):
+    """int8 in, float32 out"""
+    _require_int8(specs, "dequantize_int8")
+    return [TensorSpec(specs[0].shape, "float32")]
+
+
+def _dequantize_kernel(node, p, ctx):
+    from repro.kernels.quantization import QuantParams, dequantize
+
+    qp = QuantParams(p.scale, p.zero_point)
+    return lambda ins: dequantize(ins[0], qp)
+
+
+register(
+    OpSpec(
+        name="dequantize_int8",
+        doc="affine int8 -> float32 dequantization",
+        attrs=(
+            float_attr("scale", required=True),
+            int_attr("zero_point", required=True),
+        ),
+        infer=_infer_dequantize,
+        kernel=_dequantize_kernel,
+        cost=_requant_cost,
+    )
+)
+
+
+def _infer_requantize(specs, p, params):
+    """int8 in, int8 out at new parameters"""
+    _require_int8(specs, "requantize_int8")
+    return [TensorSpec(specs[0].shape, "int8")]
+
+
+def _requantize_kernel(node, p, ctx):
+    from repro.kernels.quantization import QuantParams, dequantize, quantize
+
+    qp_in = QuantParams(p.in_scale, p.in_zero_point)
+    qp_out = QuantParams(p.out_scale, p.out_zero_point)
+    return lambda ins: quantize(dequantize(ins[0], qp_in), qp_out)
+
+
+_IN_OUT_QUANT_ATTRS = (
+    float_attr("in_scale", required=True),
+    int_attr("in_zero_point", required=True),
+    float_attr("out_scale", required=True),
+    int_attr("out_zero_point", required=True),
+)
+
+register(
+    OpSpec(
+        name="requantize_int8",
+        doc="step between two int8 quantization parameter sets",
+        attrs=_IN_OUT_QUANT_ATTRS,
+        infer=_infer_requantize,
+        kernel=_requantize_kernel,
+        cost=_requant_cost,
+    )
+)
+
+
+# ------------------------------------------------------------- elementwise
+def _infer_relu_int8(specs, p, params):
+    """clamp at the zero point, int8 in/out"""
+    _require_int8(specs, "relu_int8")
+    return [TensorSpec(specs[0].shape, "int8")]
+
+
+def _relu_int8_kernel(node, p, ctx):
+    zp = np.int8(p.zero_point)
+    return lambda ins: np.maximum(ins[0], zp)
+
+
+register(
+    OpSpec(
+        name="relu_int8",
+        doc="relu in the quantized domain (clamp at zero point)",
+        attrs=(
+            int_attr("zero_point", required=True),
+            optional_float_attr("scale"),
+        ),
+        infer=_infer_relu_int8,
+        kernel=_relu_int8_kernel,
+        cost=eltwise_cost,
+    )
+)
+
+
+def _infer_add_int8(specs, p, params):
+    """same-shape int8 addition through the real domain"""
+    if len(specs) != 2 or any(sp.dtype != "int8" for sp in specs):
+        raise GraphError("add_int8 takes two int8 inputs")
+    if specs[0].shape != specs[1].shape:
+        raise GraphError(f"shape mismatch: {specs[0].shape} vs {specs[1].shape}")
+    return [TensorSpec(specs[0].shape, "int8")]
+
+
+def _add_int8_kernel(node, p, ctx):
+    from repro.kernels.quantization import QuantParams, dequantize, quantize
+
+    qp_a = QuantParams(p.a_scale, p.a_zero_point)
+    qp_b = QuantParams(p.b_scale, p.b_zero_point)
+    qp_out = QuantParams(p.out_scale, p.out_zero_point)
+    return lambda ins: quantize(
+        dequantize(ins[0], qp_a) + dequantize(ins[1], qp_b), qp_out
+    )
+
+
+register(
+    OpSpec(
+        name="add_int8",
+        doc="int8 addition (dequantize, add, requantize)",
+        attrs=(
+            float_attr("a_scale", required=True),
+            int_attr("a_zero_point", required=True),
+            float_attr("b_scale", required=True),
+            int_attr("b_zero_point", required=True),
+            float_attr("out_scale", required=True),
+            int_attr("out_zero_point", required=True),
+        ),
+        infer=_infer_add_int8,
+        kernel=_add_int8_kernel,
+        cost=eltwise_cost,
+    )
+)
+
+
+# ----------------------------------------------------------------- layers
+_CONV_INT8_ATTRS = _IN_OUT_QUANT_ATTRS + (
+    int_attr("stride", 1),
+    int_attr("dilation", 1),
+    enum_attr("padding", Padding, Padding.SAME_ZERO),
+    enum_attr("activation", Activation, Activation.NONE),
+)
+
+
+def _infer_conv2d_int8(specs, p, params):
+    """NHWC conv geometry from the quantized weight tensor"""
+    _require_int8(specs, "conv2d_int8")
+    w = params["weights_q"]
+    kh, kw, cin, cout = w.shape
+    if specs[0].shape[-1] != cin:
+        raise GraphError(f"conv2d_int8 input channels {specs[0].shape[-1]} != {cin}")
+    n, oh, ow = conv_out(specs[0], kh, kw, p, "conv2d_int8")
+    return [TensorSpec((n, oh, ow, cout), "int8")]
+
+
+def _conv2d_int8_kernel(node, p, ctx):
+    from repro.kernels.conv2d import conv2d_int8
+    from repro.kernels.quantization import QuantParams
+
+    qp_in = QuantParams(p.in_scale, p.in_zero_point)
+    qp_out = QuantParams(p.out_scale, p.out_zero_point)
+    w_q = node.params["weights_q"]
+    w_scales = node.params["w_scales"]
+    bias_q = node.params.get("bias_q")
+    clamp = _int8_clamp(p)
+    return lambda ins: clamp(
+        conv2d_int8(
+            ins[0], w_q, qp_in, w_scales, qp_out,
+            bias_q=bias_q, stride=p.stride, dilation=p.dilation, padding=p.padding,
+        )
+    )
+
+
+def _conv2d_int8_cost(device, node, p, input_specs, output_specs):
+    """int8 GEMM roofline + requantizing output transform"""
+    from repro.hw.latency import conv_cost
+
+    n, h, w, _ = input_specs[0].shape
+    kh, kw, cin, cout = node.params["weights_q"].shape
+    return conv_cost(
+        device, "int8", n, h, w, cin, cout, kh, kw,
+        stride=p.stride, dilation=p.dilation, padding=p.padding,
+    )
+
+
+register(
+    OpSpec(
+        name="conv2d_int8",
+        doc="int8 2-D convolution with per-channel weight scales",
+        attrs=_CONV_INT8_ATTRS,
+        infer=_infer_conv2d_int8,
+        kernel=_conv2d_int8_kernel,
+        cost=_conv2d_int8_cost,
+    )
+)
+
+
+def _infer_dense_int8(specs, p, params):
+    """feature axis maps through the quantized weight matrix"""
+    _require_int8(specs, "dense_int8")
+    w = params["weights_q"]
+    if specs[0].shape[-1] != w.shape[0]:
+        raise GraphError(
+            f"dense_int8 input features {specs[0].shape[-1]} != {w.shape[0]}"
+        )
+    return [TensorSpec(specs[0].shape[:-1] + (w.shape[1],), "int8")]
+
+
+def _dense_int8_kernel(node, p, ctx):
+    from repro.kernels.dense import dense_int8
+    from repro.kernels.quantization import QuantParams
+
+    qp_in = QuantParams(p.in_scale, p.in_zero_point)
+    qp_out = QuantParams(p.out_scale, p.out_zero_point)
+    w_q = node.params["weights_q"]
+    w_scales = node.params["w_scales"]
+    bias_q = node.params.get("bias_q")
+    clamp = _int8_clamp(p)
+    return lambda ins: clamp(
+        dense_int8(ins[0], w_q, qp_in, w_scales, qp_out, bias_q=bias_q)
+    )
+
+
+def _dense_int8_cost(device, node, p, input_specs, output_specs):
+    """int8 weight-streaming GEMV roofline"""
+    from repro.hw.latency import LatencyBreakdown
+
+    w = node.params["weights_q"]
+    macs = float(np.prod(output_specs[0].shape[:-1])) * w.shape[0] * w.shape[1]
+    weight_bytes = float(w.shape[0] * w.shape[1])
+    compute = macs / device.sustained("int8", weight_bytes)
+    memory = weight_bytes / device.dram_bytes_per_cycle
+    return LatencyBreakdown(
+        overhead_s=device.op_overhead_s,
+        accumulation_s=device.cycles_to_seconds(max(compute, memory)),
+        memory_bound=memory > compute,
+    )
+
+
+register(
+    OpSpec(
+        name="dense_int8",
+        doc="int8 fully-connected layer with per-column weight scales",
+        attrs=_IN_OUT_QUANT_ATTRS
+        + (enum_attr("activation", Activation, Activation.NONE),),
+        infer=_infer_dense_int8,
+        kernel=_dense_int8_kernel,
+        cost=_dense_int8_cost,
+    )
+)

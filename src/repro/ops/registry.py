@@ -1,0 +1,361 @@
+"""The single per-op knowledge table: :class:`OpSpec` and its registry.
+
+Every LCE operator is described exactly once, by one :class:`OpSpec`
+bundling
+
+- a declared **attribute schema** (:class:`AttrField` tuple) parsed into a
+  typed attribute struct by :meth:`OpSpec.parse_attrs`;
+- the **shape-inference** hook consumed by the graph builder, the verifier
+  and batch re-inference (:func:`infer_output_specs`);
+- a **kernel factory** ``kernel(node, p, ctx) -> KernelFn`` that both the
+  reference :class:`~repro.graph.executor.Executor` and the runtime's
+  :class:`~repro.runtime.plan.CompiledPlan` compile through
+  (:func:`compile_node`);
+- an optional **cost hook** consumed by :func:`repro.hw.latency.node_latency`
+  (:func:`node_cost`);
+- an **op-class label** consumed by :mod:`repro.profiling.breakdown`.
+
+Adding an op is one :func:`register` call — the executor, the plan
+compiler, shape inference, the latency model, the profiler, ``Graph
+.validate()`` and the ``python -m repro.cli ops`` table all pick it up
+from here.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from types import SimpleNamespace
+from typing import TYPE_CHECKING, Any, Callable, Mapping, Sequence
+
+import numpy as np
+
+from repro.core.bitpack import PackedTensor
+from repro.graph.ir import GraphError, Node, TensorSpec
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.hw.device import DeviceModel
+    from repro.hw.latency import LatencyBreakdown
+
+Value = Any  # np.ndarray | PackedTensor
+KernelFn = Callable[[Sequence[Value]], Value]
+
+#: op-class labels (the buckets of the paper's Table 4 operator breakdown)
+CLASS_LCE_BCONV = "LceBConv2d"
+CLASS_LCE_QUANTIZE = "LceQuantize"
+CLASS_FP_CONV = "Full precision Conv2D"
+CLASS_FP_ADD = "Full precision Add"
+CLASS_FP_OTHER = "All other full precision"
+
+OP_CLASSES = (
+    CLASS_LCE_QUANTIZE,
+    CLASS_LCE_BCONV,
+    CLASS_FP_CONV,
+    CLASS_FP_ADD,
+    CLASS_FP_OTHER,
+)
+
+#: ops allowed to ship without a latency cost hook.  Empty today: every
+#: registered op has a cost model, and the registry-completeness test
+#: fails if an op is added without either a hook or an entry here.
+COST_EXEMPT_OPS: frozenset[str] = frozenset()
+
+
+class ParamCache:
+    """Memoized derived/prepacked weights, keyed by ``(node name, kind)``.
+
+    One cache belongs to one graph (node names are unique per graph); the
+    :class:`~repro.runtime.engine.Engine` shares a single cache across all
+    the plans it compiles, so the second batch size compiles without
+    re-deriving a single weight.  Populated only under the engine's plan
+    lock; reads after that are of immutable entries.
+    """
+
+    def __init__(self) -> None:
+        self._store: dict[tuple[str, str], Any] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def get(self, node: Node, kind: str, build: Callable[[], Any]) -> Any:
+        key = (node.name, kind)
+        try:
+            value = self._store[key]
+        except KeyError:
+            self.misses += 1
+            value = self._store[key] = build()
+            return value
+        self.hits += 1
+        return value
+
+    def __len__(self) -> int:
+        return len(self._store)
+
+
+@dataclass(frozen=True)
+class OpContext:
+    """Everything a kernel factory may depend on."""
+
+    batch_factor: int = 1
+    num_threads: int = 1
+    cache: ParamCache = field(default_factory=ParamCache)
+
+
+# ------------------------------------------------------- attribute schema
+@dataclass(frozen=True)
+class AttrField:
+    """One declared node attribute: name, type, default, requiredness.
+
+    ``kind`` is one of ``int``, ``float``, ``bool``, ``str``, ``enum``
+    (with ``enum_type`` set) and ``int_tuple``.  ``nullable`` fields accept
+    ``None`` (e.g. a pool's implicit stride).  Parsing coerces serialized
+    values (JSON numbers, enum value strings, lists) back to typed Python
+    values and raises :class:`GraphError` on anything malformed.
+    """
+
+    name: str
+    kind: str = "int"
+    default: Any = None
+    required: bool = False
+    nullable: bool = False
+    enum_type: type[enum.Enum] | None = None
+
+    def parse(self, attrs: Mapping[str, Any]) -> Any:
+        if self.name not in attrs:
+            if self.required:
+                raise GraphError(f"missing required attribute {self.name!r}")
+            return self.default
+        value = attrs[self.name]
+        if value is None:
+            if self.nullable:
+                return None
+            raise GraphError(f"attribute {self.name!r} must not be None")
+        try:
+            return self._coerce(value)
+        except (TypeError, ValueError) as exc:
+            raise GraphError(
+                f"malformed attribute {self.name!r}={value!r}: {exc}"
+            ) from None
+
+    def _coerce(self, value: Any) -> Any:
+        if self.kind == "int":
+            if isinstance(value, (bool, str)):
+                raise ValueError("expected an integer")
+            return int(value)
+        if self.kind == "float":
+            if isinstance(value, (bool, str)):
+                raise ValueError("expected a number")
+            return float(value)
+        if self.kind == "bool":
+            return bool(value)
+        if self.kind == "str":
+            if not isinstance(value, str):
+                raise ValueError("expected a string")
+            return value
+        if self.kind == "enum":
+            assert self.enum_type is not None
+            return self.enum_type(value)
+        if self.kind == "int_tuple":
+            return tuple(int(d) for d in value)
+        raise AssertionError(f"unknown attr kind {self.kind!r}")
+
+    def describe(self) -> str:
+        """One-line schema rendering for the ``repro.cli ops`` table."""
+        if self.kind == "enum":
+            assert self.enum_type is not None
+            typ = "|".join(m.value for m in self.enum_type)
+        else:
+            typ = self.kind
+        if self.required:
+            return f"{self.name}: {typ}"
+        return f"{self.name}: {typ} = {_short_default(self.default)}"
+
+
+def _short_default(value: Any) -> str:
+    if isinstance(value, enum.Enum):
+        return value.value
+    return repr(value)
+
+
+#: parsed attribute struct passed to infer / kernel / cost hooks
+Attrs = SimpleNamespace
+
+InferFn = Callable[[list[TensorSpec], Attrs, dict[str, Any]], list[TensorSpec]]
+CompileFn = Callable[[Node, Attrs, OpContext], KernelFn]
+CostFn = Callable[
+    ["DeviceModel", Node, Attrs, list[TensorSpec], list[TensorSpec]],
+    "LatencyBreakdown",
+]
+
+
+# ----------------------------------------------------------------- OpSpec
+@dataclass(frozen=True)
+class OpSpec:
+    """Everything the engine knows about one operator."""
+
+    name: str
+    #: attribute schema; the source of truth for build/convert/load validation
+    attrs: tuple[AttrField, ...]
+    #: shape/dtype inference hook
+    infer: InferFn
+    #: kernel factory shared by the interpreter and compiled plans
+    kernel: CompileFn
+    #: latency hook for :func:`repro.hw.latency.node_latency`; ops without
+    #: one must be listed in :data:`COST_EXEMPT_OPS`
+    cost: CostFn | None = None
+    #: profiler op-class label (Table-4 bucket)
+    op_class: str = CLASS_FP_OTHER
+    #: True for binarized-domain ops (``lce_*``)
+    binary: bool = False
+    #: True for MAC layers that anchor a Figure-5 layer stack
+    mac_layer: bool = False
+    #: True when the float kernel is not row-stable across batch sizes and
+    #: must run per base-batch group inside a rebatched plan
+    split_rebatch: bool = False
+    #: one-line human description for the ``repro.cli ops`` table
+    doc: str = ""
+
+    def parse_attrs(self, attrs: Mapping[str, Any]) -> Attrs:
+        """Parse raw node attributes into a typed struct per the schema."""
+        try:
+            return SimpleNamespace(
+                **{f.name: f.parse(attrs) for f in self.attrs}
+            )
+        except GraphError as exc:
+            raise GraphError(f"op {self.name!r}: {exc}") from None
+
+    def validate_node(self, node: Node) -> None:
+        """Schema-check one node; raise :class:`GraphError` naming it."""
+        try:
+            self.parse_attrs(node.attrs)
+        except GraphError as exc:
+            raise GraphError(f"node {node.name!r}: {exc}") from None
+
+    def schema(self) -> str:
+        """The attribute schema as one display string."""
+        return ", ".join(f.describe() for f in self.attrs) or "(no attributes)"
+
+
+_OPS: dict[str, OpSpec] = {}
+
+
+def register(spec: OpSpec) -> OpSpec:
+    """Add one :class:`OpSpec` to the registry; rejects duplicates."""
+    if spec.name in _OPS:
+        raise ValueError(f"op {spec.name!r} is already registered")
+    _OPS[spec.name] = spec
+    return spec
+
+
+def get_spec(op: str) -> OpSpec:
+    """The :class:`OpSpec` for ``op``; raises :class:`GraphError`."""
+    try:
+        return _OPS[op]
+    except KeyError:
+        raise GraphError(f"no kernel for op {op!r}") from None
+
+
+def find_spec(op: str) -> OpSpec | None:
+    """The :class:`OpSpec` for ``op``, or None when unregistered."""
+    return _OPS.get(op)
+
+
+def op_names() -> tuple[str, ...]:
+    """All registered op names, sorted."""
+    return tuple(sorted(_OPS))
+
+
+def all_specs() -> tuple[OpSpec, ...]:
+    """All registered specs, sorted by op name."""
+    return tuple(_OPS[name] for name in sorted(_OPS))
+
+
+# ------------------------------------------------------- registry lookups
+def infer_output_specs(
+    op: str,
+    input_specs: list[TensorSpec],
+    attrs: Mapping[str, Any],
+    params: dict[str, Any],
+) -> list[TensorSpec]:
+    """Infer output specs via the registry; :class:`GraphError` on bad ops."""
+    spec = _OPS.get(op)
+    if spec is None:
+        raise GraphError(f"no shape inference for op {op!r}")
+    return spec.infer(input_specs, spec.parse_attrs(attrs), params)
+
+
+def compile_node(node: Node, ctx: OpContext | None = None) -> KernelFn:
+    """Compile one node to a ready-to-call kernel closure.
+
+    The single kernel-resolution point: the reference executor compiles
+    through here with a per-instance context, and plan compilation with the
+    engine's shared cache/threading context.
+    """
+    spec = get_spec(node.op)
+    ctx = ctx if ctx is not None else OpContext()
+    return spec.kernel(node, spec.parse_attrs(node.attrs), ctx)
+
+
+def node_cost(
+    device: "DeviceModel",
+    node: Node,
+    input_specs: list[TensorSpec],
+    output_specs: list[TensorSpec],
+) -> "LatencyBreakdown":
+    """Cost one node via its registered hook; ValueError when absent."""
+    spec = _OPS.get(node.op)
+    if spec is None or spec.cost is None:
+        raise ValueError(f"no latency model for op {node.op!r}")
+    return spec.cost(device, node, spec.parse_attrs(node.attrs), input_specs, output_specs)
+
+
+def op_class_of(op: str) -> str:
+    """Profiler op-class label; unregistered ops fall in the default class."""
+    spec = _OPS.get(op)
+    return spec.op_class if spec is not None else CLASS_FP_OTHER
+
+
+def is_binary_op(op: str) -> bool:
+    """Whether ``op`` runs in the binarized domain (``lce_*`` family)."""
+    spec = _OPS.get(op)
+    return spec.binary if spec is not None else op.startswith("lce_")
+
+
+def mac_layer_ops() -> tuple[str, ...]:
+    """Ops anchoring a per-layer profile stack (convolutions / dense)."""
+    return tuple(name for name in sorted(_OPS) if _OPS[name].mac_layer)
+
+
+def validate_graph(graph) -> None:
+    """Registry-validate every node: known op, well-formed attributes,
+    and a latency model (or an explicit exemption).
+
+    Raises :class:`GraphError` naming the offending node.  Called by
+    :meth:`repro.graph.ir.Graph.validate`.
+    """
+    for node in graph.nodes:
+        spec = _OPS.get(node.op)
+        if spec is None:
+            raise GraphError(
+                f"node {node.name!r}: no kernel for op {node.op!r}"
+            )
+        spec.validate_node(node)
+        if spec.cost is None and node.op not in COST_EXEMPT_OPS:
+            raise GraphError(
+                f"node {node.name!r}: op {node.op!r} has no latency model "
+                "and is not cost-exempt"
+            )
+
+
+# --------------------------------------------------------- value checking
+def check_value(value: Value, spec: TensorSpec, tensor: str) -> None:
+    """Check a produced runtime value against its tensor spec."""
+    if spec.dtype == "bitpacked":
+        if not isinstance(value, PackedTensor):
+            raise GraphError(f"{tensor}: expected PackedTensor, got {type(value)}")
+        if value.shape != spec.shape:
+            raise GraphError(f"{tensor}: shape {value.shape} != spec {spec.shape}")
+    else:
+        if not isinstance(value, np.ndarray):
+            raise GraphError(f"{tensor}: expected ndarray, got {type(value)}")
+        if tuple(value.shape) != spec.shape:
+            raise GraphError(f"{tensor}: shape {value.shape} != spec {spec.shape}")

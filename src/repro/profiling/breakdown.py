@@ -4,7 +4,20 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.ops import (
+    CLASS_FP_ADD,
+    CLASS_FP_CONV,
+    CLASS_FP_OTHER,
+    CLASS_LCE_BCONV,
+    CLASS_LCE_QUANTIZE,
+    mac_layer_ops,
+    op_class_of,
+)
 from repro.profiling.profiler import NodeProfile
+
+#: Table-4 splits the binarized convolution row into its two stages
+_BCONV_ACCUMULATION = f"{CLASS_LCE_BCONV} (accumulation loop)"
+_BCONV_TRANSFORM = f"{CLASS_LCE_BCONV} (output transformation)"
 
 
 @dataclass(frozen=True)
@@ -24,27 +37,22 @@ def quicknet_table4_rows(profiles: list[NodeProfile]) -> list[OpClassShare]:
     grouped as Conv2D, Add, and "all other full precision".
     """
     buckets: dict[str, float] = {
-        "LceQuantize": 0.0,
-        "LceBConv2d (accumulation loop)": 0.0,
-        "LceBConv2d (output transformation)": 0.0,
-        "Full precision Conv2D": 0.0,
-        "Full precision Add": 0.0,
-        "All other full precision": 0.0,
+        CLASS_LCE_QUANTIZE: 0.0,
+        _BCONV_ACCUMULATION: 0.0,
+        _BCONV_TRANSFORM: 0.0,
+        CLASS_FP_CONV: 0.0,
+        CLASS_FP_ADD: 0.0,
+        CLASS_FP_OTHER: 0.0,
     }
     for p in profiles:
         b = p.breakdown
-        if p.op == "lce_bconv2d":
-            buckets["LceBConv2d (accumulation loop)"] += b.accumulation_s + b.im2col_s
-            buckets["LceBConv2d (output transformation)"] += b.transform_s
-            buckets["All other full precision"] += b.overhead_s + b.other_s
-        elif p.op == "lce_quantize":
-            buckets["LceQuantize"] += b.total_s
-        elif p.op == "conv2d":
-            buckets["Full precision Conv2D"] += b.total_s
-        elif p.op == "add":
-            buckets["Full precision Add"] += b.total_s
+        op_class = op_class_of(p.op)
+        if op_class == CLASS_LCE_BCONV:
+            buckets[_BCONV_ACCUMULATION] += b.accumulation_s + b.im2col_s
+            buckets[_BCONV_TRANSFORM] += b.transform_s
+            buckets[CLASS_FP_OTHER] += b.overhead_s + b.other_s
         else:
-            buckets["All other full precision"] += b.total_s
+            buckets[op_class] += b.total_s
     total = sum(buckets.values())
     return [
         OpClassShare(op_class=k, latency_s=v, share_percent=100.0 * v / total)
@@ -69,7 +77,7 @@ def layer_stacks(profiles: list[NodeProfile]) -> list[dict[str, float | int | st
     preceding layer's stack, split into binary and full-precision time —
     reproducing the stacked layer-number axis of the paper's Figure 5.
     """
-    mac_ops = ("conv2d", "lce_bconv2d", "depthwise_conv2d", "dense")
+    mac_ops = mac_layer_ops()
     stacks: list[dict[str, float | int | str]] = []
     current: dict[str, float | int | str] | None = None
     for p in profiles:

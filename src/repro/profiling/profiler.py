@@ -10,6 +10,7 @@ from repro.graph.executor import Executor
 from repro.graph.ir import Graph
 from repro.hw.device import DeviceModel
 from repro.hw.latency import LatencyBreakdown, node_latency
+from repro.ops import is_binary_op
 
 
 @dataclass(frozen=True)
@@ -29,7 +30,7 @@ class NodeProfile:
 
     @property
     def is_binary(self) -> bool:
-        return self.op.startswith("lce_")
+        return is_binary_op(self.op)
 
 
 def profile_graph(

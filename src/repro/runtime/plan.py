@@ -1,12 +1,11 @@
 """Plan compilation: turn a graph into a ready-to-run execution plan.
 
-The reference :class:`repro.graph.executor.Executor` re-derives everything
-on every call: liveness, dispatch-table lookups, attribute parsing, and the
-per-node kernel-parameter structs (``BConv2DParams``, ``PackedFilters``,
-``OutputThresholds``, folded batch-norm coefficients, ...).  A
-:class:`CompiledPlan` does all of that exactly once:
+The reference :class:`repro.graph.executor.Executor` compiles its kernels
+per instance; a :class:`CompiledPlan` additionally freezes liveness and
+batching decisions for a whole serving configuration:
 
-- **dispatch resolution** — each node compiles to a closure with its
+- **dispatch resolution** — each node compiles to a closure through the
+  :mod:`repro.ops` registry (:func:`repro.ops.compile_node`), with its
   attributes already parsed and its parameter structs already built;
 - **liveness / free lists** — tensors live in integer slots; each compiled
   node carries the slots that die after it runs;
@@ -20,453 +19,43 @@ executor's output for the graph's own batch size, and bit-identical to the
 *concatenation of per-base-batch reference runs* for rebatched plans.  The
 latter is why ``conv2d`` and ``dense`` — the only kernels backed by a
 non-associative float BLAS GEMM whose results depend on the row count — are
-executed per base-batch group inside a batched plan (``_SPLIT_OPS``).  All
-binarized and int8 kernels are exact integer arithmetic and batch freely;
-the remaining float kernels are elementwise or reduce along non-batch axes
-only, which NumPy evaluates identically for any leading extent.
+executed per base-batch group inside a batched plan (their specs carry
+``split_rebatch=True``).  All binarized and int8 kernels are exact integer
+arithmetic and batch freely; the remaining float kernels are elementwise or
+reduce along non-batch axes only, which NumPy evaluates identically for any
+leading extent.
 """
 
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
-from typing import Any, Callable, Sequence
+from dataclasses import dataclass
+from typing import Sequence
 
 import numpy as np
 
-from repro.core.bconv2d import BConv2DParams, PackedFilters, bconv2d
 from repro.core.bitpack import PackedTensor
-from repro.core.bmaxpool import bmaxpool2d
-from repro.core.output_transform import OutputThresholds
-from repro.core.quantize_ops import lce_dequantize, lce_quantize
-from repro.core.types import Activation, OutputType, Padding
-from repro.graph.executor import _check_value
-from repro.graph.ir import Graph, GraphError, Node, TensorSpec
-from repro.kernels import (
-    add,
-    avgpool2d,
-    batch_norm,
-    concat,
-    conv2d_float,
-    dense_float,
-    depthwise_conv2d_float,
-    global_avgpool,
-    maxpool2d,
-    mul,
-    relu,
-    relu6,
-    reshape,
-    softmax,
+from repro.graph.ir import Graph, TensorSpec
+from repro.ops import (
+    KernelFn,
+    OpContext,
+    ParamCache,
+    Value,
+    check_value,
+    compile_node,
+    get_spec,
 )
-from repro.kernels.batchnorm import fold_to_multiplier_bias
 from repro.runtime.rebatch import rebatched_specs
 
-Value = Any  # np.ndarray | PackedTensor
-KernelFn = Callable[[Sequence[Value]], Value]
+#: historical name — plan contexts are plain :class:`repro.ops.OpContext`
+PlanContext = OpContext
 
-#: Ops whose float BLAS GEMM is not row-stable across batch sizes; executed
-#: per base-batch group inside a rebatched plan (see module docstring).
-_SPLIT_OPS = frozenset({"conv2d", "dense"})
 
-
-class ParamCache:
-    """Memoized derived/prepacked weights, keyed by ``(node name, kind)``.
-
-    One cache belongs to one graph (node names are unique per graph); the
-    :class:`~repro.runtime.engine.Engine` shares a single cache across all
-    the plans it compiles, so the second batch size compiles without
-    re-deriving a single weight.  Populated only under the engine's plan
-    lock; reads after that are of immutable entries.
-    """
-
-    def __init__(self) -> None:
-        self._store: dict[tuple[str, str], Any] = {}
-        self.hits = 0
-        self.misses = 0
-
-    def get(self, node: Node, kind: str, build: Callable[[], Any]) -> Any:
-        key = (node.name, kind)
-        try:
-            value = self._store[key]
-        except KeyError:
-            self.misses += 1
-            value = self._store[key] = build()
-            return value
-        self.hits += 1
-        return value
-
-    def __len__(self) -> int:
-        return len(self._store)
-
-
-@dataclass(frozen=True)
-class PlanContext:
-    """Everything a node compiler may depend on."""
-
-    batch_factor: int
-    num_threads: int
-    cache: ParamCache
-
-
-_COMPILERS: dict[str, Callable[[Node, PlanContext], KernelFn]] = {}
-
-
-def _compiles(name: str):
-    def deco(fn):
-        _COMPILERS[name] = fn
-        return fn
-
-    return deco
-
-
-# ------------------------------------------------------------- simple ops
-@_compiles("identity")
-def _c_identity(node: Node, ctx: PlanContext) -> KernelFn:
-    return lambda ins: ins[0]
-
-
-@_compiles("binarize")
-def _c_binarize(node: Node, ctx: PlanContext) -> KernelFn:
-    return lambda ins: np.where(
-        np.asarray(ins[0]) < 0, np.float32(-1.0), np.float32(1.0)
-    )
-
-
-@_compiles("relu")
-def _c_relu(node: Node, ctx: PlanContext) -> KernelFn:
-    return lambda ins: relu(ins[0])
-
-
-@_compiles("relu6")
-def _c_relu6(node: Node, ctx: PlanContext) -> KernelFn:
-    return lambda ins: relu6(ins[0])
-
-
-@_compiles("softmax")
-def _c_softmax(node: Node, ctx: PlanContext) -> KernelFn:
-    return lambda ins: softmax(ins[0])
-
-
-@_compiles("sigmoid")
-def _c_sigmoid(node: Node, ctx: PlanContext) -> KernelFn:
-    def fn(ins):
-        x = np.asarray(ins[0], dtype=np.float32)
-        return (1.0 / (1.0 + np.exp(-x))).astype(np.float32)
-
-    return fn
-
-
-@_compiles("add")
-def _c_add(node: Node, ctx: PlanContext) -> KernelFn:
-    return lambda ins: add(ins[0], ins[1])
-
-
-@_compiles("mul")
-def _c_mul(node: Node, ctx: PlanContext) -> KernelFn:
-    return lambda ins: mul(ins[0], ins[1])
-
-
-@_compiles("concat")
-def _c_concat(node: Node, ctx: PlanContext) -> KernelFn:
-    axis = int(node.attr("axis", -1))
-    return lambda ins: concat(list(ins), axis=axis)
-
-
-@_compiles("pad_channels")
-def _c_pad_channels(node: Node, ctx: PlanContext) -> KernelFn:
-    before = int(node.attr("before", 0))
-    after = int(node.attr("after", 0))
-
-    def fn(ins):
-        x = np.asarray(ins[0])
-        pad = [(0, 0)] * (x.ndim - 1) + [(before, after)]
-        return np.pad(x, pad)
-
-    return fn
-
-
-@_compiles("reshape")
-def _c_reshape(node: Node, ctx: PlanContext) -> KernelFn:
-    shape = tuple(int(d) for d in node.attrs["shape"])
-    if ctx.batch_factor != 1:
-        shape = (shape[0] * ctx.batch_factor,) + shape[1:]
-    return lambda ins: reshape(ins[0], shape)
-
-
-@_compiles("batch_norm")
-def _c_bn(node: Node, ctx: PlanContext) -> KernelFn:
-    multiplier, bias = ctx.cache.get(
-        node, "bn_folded", lambda: fold_to_multiplier_bias(node.params["bn"])
-    )
-    return lambda ins: (ins[0] * multiplier + bias).astype(np.float32)
-
-
-# ------------------------------------------------------- float/int8 layers
-@_compiles("conv2d")
-def _c_conv2d(node: Node, ctx: PlanContext) -> KernelFn:
-    def derive_weights():
-        weights = node.params["weights"]
-        if node.attr("binary_weights"):
-            weights = np.where(weights < 0, np.float32(-1.0), np.float32(1.0))
-        return weights
-
-    weights = ctx.cache.get(node, "conv_weights", derive_weights)
-    bias = node.params.get("bias")
-    stride = int(node.attr("stride", 1))
-    dilation = int(node.attr("dilation", 1))
-    padding = Padding(node.attr("padding", Padding.SAME_ZERO))
-    activation = Activation(node.attr("activation", Activation.NONE))
-    return lambda ins: conv2d_float(
-        ins[0],
-        weights,
-        bias=bias,
-        stride=stride,
-        dilation=dilation,
-        padding=padding,
-        activation=activation,
-    )
-
-
-@_compiles("depthwise_conv2d")
-def _c_depthwise(node: Node, ctx: PlanContext) -> KernelFn:
-    weights = node.params["weights"]
-    bias = node.params.get("bias")
-    stride = int(node.attr("stride", 1))
-    dilation = int(node.attr("dilation", 1))
-    padding = Padding(node.attr("padding", Padding.SAME_ZERO))
-    activation = Activation(node.attr("activation", Activation.NONE))
-    return lambda ins: depthwise_conv2d_float(
-        ins[0],
-        weights,
-        bias=bias,
-        stride=stride,
-        dilation=dilation,
-        padding=padding,
-        activation=activation,
-    )
-
-
-@_compiles("dense")
-def _c_dense(node: Node, ctx: PlanContext) -> KernelFn:
-    weights = node.params["weights"]
-    bias = node.params.get("bias")
-    activation = Activation(node.attr("activation", Activation.NONE))
-    return lambda ins: dense_float(ins[0], weights, bias=bias, activation=activation)
-
-
-def _c_pool(node: Node, kernel) -> KernelFn:
-    pool_h = int(node.attrs["pool_h"])
-    pool_w = int(node.attrs["pool_w"])
-    stride = node.attr("stride")
-    padding = Padding(node.attr("padding", Padding.VALID))
-    return lambda ins: kernel(ins[0], pool_h, pool_w, stride=stride, padding=padding)
-
-
-@_compiles("maxpool2d")
-def _c_maxpool(node: Node, ctx: PlanContext) -> KernelFn:
-    pooled = _c_pool(node, maxpool2d)
-
-    def fn(ins):
-        out = pooled(ins)
-        # Max pooling commutes with quantization: int8 in, int8 out.
-        if isinstance(ins[0], np.ndarray) and ins[0].dtype == np.int8:
-            return out.astype(np.int8)
-        return out
-
-    return fn
-
-
-@_compiles("avgpool2d")
-def _c_avgpool(node: Node, ctx: PlanContext) -> KernelFn:
-    return _c_pool(node, avgpool2d)
-
-
-@_compiles("global_avgpool")
-def _c_gap(node: Node, ctx: PlanContext) -> KernelFn:
-    return lambda ins: global_avgpool(ins[0])
-
-
-# ---------------------------------------------------------------- int8 ops
-@_compiles("quantize_int8")
-def _c_quantize_int8(node: Node, ctx: PlanContext) -> KernelFn:
-    from repro.kernels.quantization import QuantParams, quantize
-
-    qp = QuantParams(node.attrs["scale"], int(node.attrs["zero_point"]))
-    return lambda ins: quantize(ins[0], qp)
-
-
-@_compiles("dequantize_int8")
-def _c_dequantize_int8(node: Node, ctx: PlanContext) -> KernelFn:
-    from repro.kernels.quantization import QuantParams, dequantize
-
-    qp = QuantParams(node.attrs["scale"], int(node.attrs["zero_point"]))
-    return lambda ins: dequantize(ins[0], qp)
-
-
-@_compiles("requantize_int8")
-def _c_requantize_int8(node: Node, ctx: PlanContext) -> KernelFn:
-    from repro.kernels.quantization import QuantParams, dequantize, quantize
-
-    qp_in = QuantParams(node.attrs["in_scale"], int(node.attrs["in_zero_point"]))
-    qp_out = QuantParams(node.attrs["out_scale"], int(node.attrs["out_zero_point"]))
-    return lambda ins: quantize(dequantize(ins[0], qp_in), qp_out)
-
-
-def _int8_clamp(node: Node) -> Callable[[np.ndarray], np.ndarray]:
-    """Compile the fused int8 activation clamp (zero-point relu / relu6)."""
-    activation = Activation(node.attr("activation", Activation.NONE))
-    if activation is Activation.NONE:
-        return lambda q: q
-    zp = np.int8(node.attrs["out_zero_point"])
-    if activation is Activation.RELU6:
-        from repro.kernels.quantization import INT8_MAX
-
-        six = node.attrs["out_zero_point"] + 6.0 / node.attrs["out_scale"]
-        top = np.int8(min(round(six), INT8_MAX))
-        return lambda q: np.minimum(np.maximum(q, zp), top)
-    return lambda q: np.maximum(q, zp)
-
-
-@_compiles("relu_int8")
-def _c_relu_int8(node: Node, ctx: PlanContext) -> KernelFn:
-    zp = np.int8(node.attrs["zero_point"])
-    return lambda ins: np.maximum(ins[0], zp)
-
-
-@_compiles("add_int8")
-def _c_add_int8(node: Node, ctx: PlanContext) -> KernelFn:
-    from repro.kernels.quantization import QuantParams, dequantize, quantize
-
-    qp_a = QuantParams(node.attrs["a_scale"], int(node.attrs["a_zero_point"]))
-    qp_b = QuantParams(node.attrs["b_scale"], int(node.attrs["b_zero_point"]))
-    qp_out = QuantParams(node.attrs["out_scale"], int(node.attrs["out_zero_point"]))
-    return lambda ins: quantize(
-        dequantize(ins[0], qp_a) + dequantize(ins[1], qp_b), qp_out
-    )
-
-
-@_compiles("conv2d_int8")
-def _c_conv2d_int8(node: Node, ctx: PlanContext) -> KernelFn:
-    from repro.kernels.conv2d import conv2d_int8
-    from repro.kernels.quantization import QuantParams
-
-    qp_in = QuantParams(node.attrs["in_scale"], int(node.attrs["in_zero_point"]))
-    qp_out = QuantParams(node.attrs["out_scale"], int(node.attrs["out_zero_point"]))
-    w_q = node.params["weights_q"]
-    w_scales = node.params["w_scales"]
-    bias_q = node.params.get("bias_q")
-    stride = int(node.attr("stride", 1))
-    dilation = int(node.attr("dilation", 1))
-    padding = Padding(node.attr("padding", Padding.SAME_ZERO))
-    clamp = _int8_clamp(node)
-    return lambda ins: clamp(
-        conv2d_int8(
-            ins[0], w_q, qp_in, w_scales, qp_out,
-            bias_q=bias_q, stride=stride, dilation=dilation, padding=padding,
-        )
-    )
-
-
-@_compiles("dense_int8")
-def _c_dense_int8(node: Node, ctx: PlanContext) -> KernelFn:
-    from repro.kernels.dense import dense_int8
-    from repro.kernels.quantization import QuantParams
-
-    qp_in = QuantParams(node.attrs["in_scale"], int(node.attrs["in_zero_point"]))
-    qp_out = QuantParams(node.attrs["out_scale"], int(node.attrs["out_zero_point"]))
-    w_q = node.params["weights_q"]
-    w_scales = node.params["w_scales"]
-    bias_q = node.params.get("bias_q")
-    clamp = _int8_clamp(node)
-    return lambda ins: clamp(
-        dense_int8(ins[0], w_q, qp_in, w_scales, qp_out, bias_q=bias_q)
-    )
-
-
-# ----------------------------------------------------------------- LCE ops
-@_compiles("lce_quantize")
-def _c_lce_quantize(node: Node, ctx: PlanContext) -> KernelFn:
-    return lambda ins: lce_quantize(ins[0])
-
-
-@_compiles("lce_dequantize")
-def _c_lce_dequantize(node: Node, ctx: PlanContext) -> KernelFn:
-    return lambda ins: lce_dequantize(ins[0])
-
-
-@_compiles("lce_bconv2d")
-def _c_lce_bconv2d(node: Node, ctx: PlanContext) -> KernelFn:
-    a = node.attrs
-
-    def build_params():
-        return BConv2DParams(
-            kernel_h=int(a["kernel_h"]),
-            kernel_w=int(a["kernel_w"]),
-            in_channels=int(a["in_channels"]),
-            out_channels=int(a["out_channels"]),
-            stride=int(a.get("stride", 1)),
-            dilation=int(a.get("dilation", 1)),
-            padding=Padding(a.get("padding", Padding.SAME_ONE)),
-            groups=int(a.get("groups", 1)),
-        )
-
-    params = ctx.cache.get(node, "bconv_params", build_params)
-    filters = ctx.cache.get(
-        node,
-        "packed_filters",
-        lambda: PackedFilters(
-            bits=node.params["filter_bits"],
-            kernel_h=params.kernel_h,
-            kernel_w=params.kernel_w,
-            in_channels=params.in_channels // params.groups,
-        ),
-    )
-
-    def build_thresholds():
-        if "threshold" not in node.params:
-            return None
-        return OutputThresholds(
-            threshold=node.params["threshold"], flip=node.params["threshold_flip"]
-        )
-
-    thresholds = ctx.cache.get(node, "thresholds", build_thresholds)
-    multiplier = node.params.get("multiplier")
-    bias = node.params.get("bias")
-    activation = Activation(a.get("activation", Activation.NONE))
-    scale_before = bool(a.get("scale_before_activation", True))
-    output_type = OutputType(a.get("output_type", OutputType.FLOAT))
-    padding_correction = node.params.get("padding_correction")
-    int8_scale = a.get("int8_output_scale")
-    int8_zp = int(a.get("int8_output_zero_point", 0))
-    num_threads = ctx.num_threads
-    return lambda ins: bconv2d(
-        ins[0],
-        filters,
-        params,
-        multiplier=multiplier,
-        bias=bias,
-        activation=activation,
-        scale_before_activation=scale_before,
-        output_type=output_type,
-        thresholds=thresholds,
-        padding_correction=padding_correction,
-        int8_output_scale=int8_scale,
-        int8_output_zero_point=int8_zp,
-        num_threads=num_threads,
-    )
-
-
-@_compiles("lce_bmaxpool2d")
-def _c_lce_bmaxpool(node: Node, ctx: PlanContext) -> KernelFn:
-    return _c_pool(node, bmaxpool2d)
-
-
-# -------------------------------------------------------------- the plan
 def _split_per_group(fn: KernelFn, base_batch: int, factor: int) -> KernelFn:
     """Run ``fn`` once per base-batch group and concatenate the outputs.
 
-    Applied to ``_SPLIT_OPS`` in rebatched plans so batched results stay
-    bit-identical to per-base-batch runs (float BLAS GEMMs are not
+    Applied to ``split_rebatch`` ops in rebatched plans so batched results
+    stay bit-identical to per-base-batch runs (float BLAS GEMMs are not
     row-stable across row counts).
     """
 
@@ -538,7 +127,7 @@ class CompiledPlan:
                 and spec.dtype != "bitpacked"
             ):
                 value = np.asarray(value, dtype=spec.dtype)
-            _check_value(value, spec, self.slot_names[slot])
+            check_value(value, spec, self.slot_names[slot])
             slots[slot] = value
         for cn in self.nodes:
             ins = [slots[s] for s in cn.input_slots]
@@ -548,7 +137,7 @@ class CompiledPlan:
                 node_times[cn.name] = time.perf_counter() - start
             outs = out if isinstance(out, tuple) else (out,)
             for slot, v in zip(cn.output_slots, outs):
-                _check_value(v, self.slot_specs[slot], self.slot_names[slot])
+                check_value(v, self.slot_specs[slot], self.slot_names[slot])
                 slots[slot] = v
             for s in cn.frees:
                 slots[s] = None
@@ -564,7 +153,7 @@ def compile_plan(
     """Compile ``graph`` into a :class:`CompiledPlan`.
 
     Args:
-        graph: a verified graph (training or converted).
+        graph: a validated graph (training or converted).
         batch_factor: run ``batch_factor`` copies of the graph's base batch
             per call; tensor specs are re-inferred for the batched shapes.
         num_threads: intra-op threads for the ``lce_bconv2d`` BGEMM.
@@ -574,9 +163,9 @@ def compile_plan(
         raise ValueError(f"batch_factor must be positive, got {batch_factor}")
     if num_threads < 1:
         raise ValueError(f"num_threads must be positive, got {num_threads}")
-    graph.verify()
+    graph.validate()
     cache = cache if cache is not None else ParamCache()
-    ctx = PlanContext(batch_factor=batch_factor, num_threads=num_threads, cache=cache)
+    ctx = OpContext(batch_factor=batch_factor, num_threads=num_threads, cache=cache)
     specs = rebatched_specs(graph, batch_factor)
 
     # Slot assignment: graph inputs first, then node outputs in order.
@@ -600,12 +189,8 @@ def compile_plan(
     base_batch = specs[graph.inputs[0]].shape[0] // batch_factor if graph.inputs else 1
     compiled: list[CompiledNode] = []
     for idx, node in enumerate(graph.nodes):
-        try:
-            compiler = _COMPILERS[node.op]
-        except KeyError:
-            raise GraphError(f"no kernel for op {node.op!r}") from None
-        fn = compiler(node, ctx)
-        if batch_factor > 1 and node.op in _SPLIT_OPS:
+        fn = compile_node(node, ctx)
+        if batch_factor > 1 and get_spec(node.op).split_rebatch:
             fn = _split_per_group(fn, base_batch, batch_factor)
         frees = tuple(
             slot_of[t]

@@ -3,8 +3,9 @@
 Zoo and converter graphs are built for a fixed batch (normally 1).  The
 engine serves coalesced micro-batches, so it needs the same graph's specs
 at ``k`` times the base batch.  Rather than rebuilding the model, the specs
-are re-derived through :mod:`repro.graph.shapes` — the same inference the
-builder used — from input specs whose leading dimension is scaled by ``k``.
+are re-derived through the :mod:`repro.ops` shape hooks — the same
+inference the builder used — from input specs whose leading dimension is
+scaled by ``k``.
 
 The only attribute that hard-codes the batch is ``reshape``'s target
 shape; its leading dimension is scaled by ``k`` (the engine assumes, and
@@ -19,7 +20,7 @@ from __future__ import annotations
 from typing import Any
 
 from repro.graph.ir import Graph, GraphError, TensorSpec
-from repro.graph.shapes import infer_output_specs
+from repro.ops import infer_output_specs
 
 
 def batched_attrs(op: str, attrs: dict[str, Any], batch_factor: int) -> dict[str, Any]:

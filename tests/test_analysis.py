@@ -5,7 +5,7 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.analysis.macs import MacCount, count_macs, node_macs
+from repro.analysis.macs import MacCount, count_macs
 from repro.analysis.regression import loglog_fit
 from repro.analysis.speedup import speedup_stats
 from repro.core.types import Padding

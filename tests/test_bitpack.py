@@ -8,7 +8,6 @@ from hypothesis import given
 from hypothesis import strategies as st
 
 from repro.core.bitpack import (
-    WORD_BITS,
     PackedTensor,
     pack_bits,
     packed_words,

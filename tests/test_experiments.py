@@ -8,7 +8,6 @@ these, the reproduction no longer tells the paper's story.
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
 from repro.experiments import (

@@ -9,7 +9,6 @@ computes the same function as the training graph.
 from __future__ import annotations
 
 import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

@@ -2,11 +2,9 @@
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
 from repro.core.types import Padding
-from repro.graph.builder import GraphBuilder
 from repro.hw import isa
 from repro.hw.device import DeviceModel
 from repro.hw.frameworks import FRAMEWORKS

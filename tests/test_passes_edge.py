@@ -3,16 +3,12 @@
 from __future__ import annotations
 
 import numpy as np
-import pytest
 
 from repro.converter import convert
 from repro.core.types import Activation, Padding
 from repro.graph.builder import GraphBuilder
 from repro.graph.executor import Executor
 from repro.graph.passes import (
-    binarize_convs,
-    bitpacked_chain,
-    dce,
     fuse_activation,
     fuse_batchnorm,
 )

@@ -11,7 +11,6 @@ from repro.graph.executor import Executor
 from repro.hw.device import DeviceModel
 from repro.hw.latency import graph_latency
 from repro.ptq import calibrate, quantize_model
-from repro.ptq.transform import collapse_requant
 
 
 def _float_net(rng):
@@ -147,8 +146,6 @@ class TestQuantizeModel:
 
 class TestCollapseRequant:
     def test_no_collapse_across_fanout(self, rng):
-        from repro.graph.ir import TensorSpec
-
         b = GraphBuilder((1, 4, 4, 2))
         x = b.conv2d(b.input, rng.standard_normal((1, 1, 2, 2)).astype(np.float32))
         y = b.relu(x)

