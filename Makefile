@@ -1,6 +1,6 @@
 # Convenience targets for the LCE reproduction.
 
-.PHONY: test test-fast test-slow lint check bench experiments appendix extensions examples all
+.PHONY: test test-fast test-slow lint check bench bench-fast experiments appendix extensions examples all
 
 test:
 	pytest tests/
@@ -21,6 +21,11 @@ test-slow:
 
 bench:
 	pytest benchmarks/ --benchmark-only
+
+# Kernel micro-benchmarks only; writes machine-readable BENCH_kernels.json
+# (per-kernel ns/call and MACs/s, plus the plan-vs-dynamic speedup).
+bench-fast:
+	pytest benchmarks/test_kernel_microbench.py --benchmark-only
 
 experiments:
 	python -m repro.experiments.runner

@@ -3,17 +3,32 @@
 These measure the *real* compute substrate (not the device model): even in
 pure NumPy, the XOR-popcount BGEMM on bitpacked uint64 words beats a float
 GEMM of the same logical shape, because it touches 32x less data.
+
+``test_quicknet_plan_vs_dynamic`` additionally pits the plan-compiled hot
+path (memoized indirection gather + workspace arena) against a replica of
+the historical dynamic-im2col path at QuickNet-small layer shapes, asserts
+the steady-state speedup, and writes ``BENCH_kernels.json`` at the repo
+root with one machine-readable row per (op, shape): ns/call and MACs/s.
 """
 
 from __future__ import annotations
 
+import json
+import time
+from pathlib import Path
+
 import numpy as np
 import pytest
 
+from repro.core.bconv2d import BConv2DParams, pack_filters
 from repro.core.bgemm import bgemm, bgemm_blocked
 from repro.core.bitpack import pack_bits
 from repro.core.bmaxpool import bmaxpool2d
+from repro.core.im2col import conv_geometry
+from repro.core.indirection import get_indirection, im2col_indirect
 from repro.core.quantize_ops import lce_quantize
+from repro.core.types import Padding
+from repro.core.workspace import WorkspacePool
 
 #: a mid-sized GEMM: 784 pixels x 1152 depth x 128 filters
 M, K, N = 784, 1152, 128
@@ -57,3 +72,104 @@ def test_binary_maxpool(benchmark):
     x = lce_quantize(rng.standard_normal((1, 56, 56, 256)).astype(np.float32))
     out = benchmark(bmaxpool2d, x, 2, 2)
     assert out.shape == (1, 28, 28, 256)
+
+
+#: the four distinct binary 3x3/s1 layer shapes in converted QuickNet-small
+QUICKNET_SMALL_SHAPES = [(56, 56, 32), (28, 28, 64), (14, 14, 256), (7, 7, 512)]
+
+BENCH_JSON = Path(__file__).resolve().parent.parent / "BENCH_kernels.json"
+
+#: minimum steady-state speedup of the plan path over the dynamic path,
+#: aggregated over the QuickNet-small shapes (ISSUE 3 acceptance floor)
+SPEEDUP_FLOOR = 1.25
+
+
+def _dynamic_bconv2d(x, filters, params, in_h, in_w):
+    """Replica of the pre-arena hot path: every call recomputes the gather
+    geometry (meshgrid), stages a fresh ``np.pad`` copy, materializes a new
+    patch matrix and lets the blocked BGEMM allocate its own temporaries.
+
+    ``conv_geometry.__wrapped__`` bypasses the memo so the per-call cost is
+    the historical one, not the post-optimization one.
+    """
+    kh, kw = params.kernel_h, params.kernel_w
+    geom = conv_geometry.__wrapped__(in_h, in_w, kh, kw, 1, 1, params.padding)
+    bits = x.bits
+    n, _, _, words = bits.shape
+    padded = np.pad(
+        bits,
+        ((0, 0), (geom.pad_top, geom.pad_bottom),
+         (geom.pad_left, geom.pad_right), (0, 0)),
+        constant_values=0,
+    )
+    oy, ox = np.meshgrid(np.arange(geom.out_h), np.arange(geom.out_w), indexing="ij")
+    ky, kx = np.meshgrid(np.arange(kh), np.arange(kw), indexing="ij")
+    rows = oy.reshape(-1, 1) + ky.reshape(1, -1)
+    cols = ox.reshape(-1, 1) + kx.reshape(1, -1)
+    patches = padded[:, rows, cols, :]
+    patches = patches.reshape(n * geom.out_h * geom.out_w, kh * kw * words)
+    return bgemm_blocked(patches, filters.bits, params.depth)
+
+
+def _plan_bconv2d(x, filters, params, ind, ws):
+    """The steady-state plan path: indirect gather into reused workspace
+    buffers, BGEMM scratch and accumulators from the same arena."""
+    patches = im2col_indirect(x, ind, ws)
+    out = ws.take("bconv/acc", (patches.shape[0], params.out_channels), np.int32)
+    return bgemm_blocked(patches, filters.bits, params.depth, out=out, workspace=ws)
+
+
+def _best_of(fn, repeats=7):
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def test_quicknet_plan_vs_dynamic(benchmark):
+    rng = np.random.default_rng(7)
+    records = []
+    dynamic_total = plan_total = 0.0
+    for h, w, c in QUICKNET_SMALL_SHAPES:
+        x = lce_quantize(rng.standard_normal((1, h, w, c)).astype(np.float32))
+        wts = pack_filters(rng.choice([-1.0, 1.0], (3, 3, c, c)).astype(np.float32))
+        params = BConv2DParams(3, 3, c, c, padding=Padding.SAME_ONE)
+        ind = get_indirection(h, w, 3, 3, 1, 1, Padding.SAME_ONE)
+        ws = WorkspacePool().current()
+
+        dynamic = _dynamic_bconv2d(x, wts, params, h, w)
+        plan = _plan_bconv2d(x, wts, params, ind, ws)
+        assert np.array_equal(plan, dynamic), "plan path must stay bit-exact"
+
+        t_dynamic = _best_of(lambda: _dynamic_bconv2d(x, wts, params, h, w))
+        t_plan = _best_of(lambda: _plan_bconv2d(x, wts, params, ind, ws))
+        dynamic_total += t_dynamic
+        plan_total += t_plan
+        macs = dynamic.shape[0] * params.out_channels * params.depth
+        for op, t in (("dynamic_bconv2d", t_dynamic), ("plan_bconv2d", t_plan)):
+            records.append({
+                "op": op,
+                "shape": f"1x{h}x{w}x{c} k3 s1 same_one",
+                "ns_per_call": round(t * 1e9, 1),
+                "macs_per_s": round(macs / t, 1),
+            })
+
+    speedup = dynamic_total / plan_total
+    BENCH_JSON.write_text(json.dumps({
+        "suite": "kernel_microbench",
+        "quicknet_small_speedup": round(speedup, 3),
+        "speedup_floor": SPEEDUP_FLOOR,
+        "kernels": records,
+    }, indent=2) + "\n")
+
+    # Surface the steady-state plan path in the pytest-benchmark table too.
+    h, w, c = QUICKNET_SMALL_SHAPES[-1]
+    benchmark.pedantic(
+        _plan_bconv2d, args=(x, wts, params, ind, ws), rounds=3, iterations=3
+    )
+    assert speedup >= SPEEDUP_FLOOR, (
+        f"plan path only {speedup:.2f}x over dynamic im2col "
+        f"(floor {SPEEDUP_FLOOR}x); see {BENCH_JSON.name}"
+    )

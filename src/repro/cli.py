@@ -28,7 +28,12 @@ from repro.converter import convert
 from repro.graph.serialization import save_model
 from repro.hw.device import DeviceModel
 from repro.hw.latency import graph_latency
-from repro.profiling import profile_engine, profile_graph, quicknet_table4_rows
+from repro.profiling import (
+    memory_profile,
+    profile_engine,
+    profile_graph,
+    quicknet_table4_rows,
+)
 from repro.zoo import MODEL_REGISTRY, build_model
 
 
@@ -96,6 +101,7 @@ def _benchmark_engine(args, model) -> int:
             engine.run(x)
         elapsed = time.perf_counter() - start
         stats = engine.stats()
+        memory = memory_profile(engine)
 
     per_batch_ms = elapsed / args.repeats * 1e3
     print(
@@ -109,6 +115,7 @@ def _benchmark_engine(args, model) -> int:
         f"plan cache hit rate {stats.plan_cache_hit_rate:.0%}; "
         f"batch histogram {dict(sorted(stats.batch_histogram.items()))}"
     )
+    print("  " + memory.describe())
     return 0
 
 
@@ -123,8 +130,10 @@ def cmd_profile(args) -> int:
             return 2
         with Engine(model, num_threads=args.threads) as engine:
             profiles = profile_engine(device, engine)
+            memory = memory_profile(engine)
         total = sum(p.measured_s or 0.0 for p in profiles)
-        print(f"{args.model} via Engine (measured): {total * 1e3:.1f} ms\n")
+        print(f"{args.model} via Engine (measured): {total * 1e3:.1f} ms")
+        print(memory.describe() + "\n")
     else:
         profiles = profile_graph(device, model.graph)
         total = sum(p.simulated_s for p in profiles)

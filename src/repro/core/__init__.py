@@ -14,6 +14,10 @@ of the paper with bit-exact semantics:
 - :mod:`repro.core.bmaxpool` — ``LceBMaxPool2d`` (bitwise-AND max pooling).
 - :mod:`repro.core.output_transform` — accumulator-to-output stage,
   including the precomputed-threshold path for bitpacked output.
+- :mod:`repro.core.indirection` — precomputed im2col gather indices
+  (compile-time im2col for the hot path).
+- :mod:`repro.core.workspace` — the preallocated scratch arena making the
+  steady-state plan path allocation-free.
 """
 
 from repro.core.bconv2d import (
@@ -22,9 +26,18 @@ from repro.core.bconv2d import (
     bconv2d,
     bconv2d_reference,
     pack_filters,
+    reserve_bconv2d_workspace,
     unpack_filters,
     zero_padding_correction,
 )
+from repro.core.indirection import (
+    Indirection,
+    get_indirection,
+    im2col_indirect,
+    indirection_cache_clear,
+    indirection_cache_stats,
+)
+from repro.core.workspace import Workspace, WorkspacePool
 from repro.core.bgemm import bgemm, bgemm_blocked, bgemm_reference
 from repro.core.threading import bgemm_parallel
 from repro.core.bitpack import (
@@ -36,7 +49,14 @@ from repro.core.bitpack import (
     unpack_bits,
 )
 from repro.core.bmaxpool import bmaxpool2d
-from repro.core.im2col import ConvGeometry, conv_geometry, im2col_float, im2col_packed
+from repro.core.im2col import (
+    ConvGeometry,
+    conv_geometry,
+    gather_indices,
+    im2col_float,
+    im2col_packed,
+    padded_tap_mask,
+)
 from repro.core.output_transform import (
     OutputThresholds,
     accumulators_to_bitpacked,
@@ -50,12 +70,15 @@ __all__ = [
     "Activation",
     "BConv2DParams",
     "ConvGeometry",
+    "Indirection",
     "OutputThresholds",
     "OutputType",
     "PackedFilters",
     "PackedTensor",
     "Padding",
     "WORD_BITS",
+    "Workspace",
+    "WorkspacePool",
     "accumulators_to_bitpacked",
     "accumulators_to_float",
     "bconv2d",
@@ -67,14 +90,21 @@ __all__ = [
     "bmaxpool2d",
     "compute_output_thresholds",
     "conv_geometry",
+    "gather_indices",
+    "get_indirection",
     "im2col_float",
+    "im2col_indirect",
     "im2col_packed",
+    "indirection_cache_clear",
+    "indirection_cache_stats",
     "lce_dequantize",
     "lce_quantize",
     "pack_bits",
     "pack_filters",
     "packed_words",
+    "padded_tap_mask",
     "popcount",
+    "reserve_bconv2d_workspace",
     "unpack_bits",
     "unpack_filters",
     "zero_padding_correction",

@@ -24,9 +24,11 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.core.bgemm import bgemm_blocked
-from repro.core.bitpack import PackedTensor, pack_bits, unpack_bits
-from repro.core.threading import bgemm_parallel
-from repro.core.im2col import conv_geometry, im2col_packed, padded_tap_mask
+from repro.core.bitpack import PackedTensor, pack_bits, packed_words, unpack_bits
+from repro.core.indirection import Indirection, get_indirection, im2col_indirect
+from repro.core.threading import bgemm_parallel, bgemm_scratch_spec
+from repro.core.im2col import conv_geometry, padded_tap_mask
+from repro.core.workspace import Workspace, WorkspacePool
 from repro.core.output_transform import (
     OutputThresholds,
     accumulators_to_bitpacked,
@@ -159,6 +161,8 @@ def bconv2d(
     int8_output_scale: float | None = None,
     int8_output_zero_point: int = 0,
     num_threads: int = 1,
+    indirection: Indirection | None = None,
+    workspace: Workspace | None = None,
 ) -> np.ndarray | PackedTensor:
     """Execute a binarized 2-D convolution.
 
@@ -178,6 +182,14 @@ def bconv2d(
         num_threads: BGEMM thread count; >1 distributes row panels over
             :func:`repro.core.threading.bgemm_parallel`, which is
             bit-identical to the single-threaded blocked BGEMM.
+        indirection: precomputed im2col plan from
+            :func:`repro.core.indirection.get_indirection`.  Compiled plans
+            pass the indirection pinned at compile time; eager callers can
+            omit it and the process-level cache supplies it.
+        workspace: scratch arena for the padded/patch/XOR/popcount/
+            accumulator temporaries.  With a workspace the steady-state call
+            performs no NumPy allocations; without one behaviour matches the
+            original allocating path.  Results are bit-identical either way.
 
     Returns:
         ``(N, out_h, out_w, out_channels)`` float32 array, or a
@@ -195,20 +207,35 @@ def bconv2d(
     if num_threads < 1:
         raise ValueError(f"num_threads must be positive, got {num_threads}")
     n, in_h, in_w, _ = x.bits.shape
-    if params.groups > 1:
-        acc, geom = _grouped_accumulators(x, filters, params, num_threads)
-    else:
-        patches, geom = im2col_packed(
-            x, params.kernel_h, params.kernel_w, params.stride, params.dilation,
-            params.padding,
+    if indirection is None:
+        indirection = get_indirection(
+            in_h, in_w, params.kernel_h, params.kernel_w, params.stride,
+            params.dilation, params.padding,
         )
-        acc = _bgemm(patches, filters.bits, params.depth, num_threads)
+    geom = indirection.geom
+    if params.groups > 1:
+        acc = _grouped_accumulators(
+            x, filters, params, num_threads, indirection, workspace
+        )
+    else:
+        patches = im2col_indirect(x, indirection, workspace)
+        out = None
+        if workspace is not None:
+            out = workspace.take(
+                "bconv/acc", (patches.shape[0], params.out_channels), np.int32
+            )
+        acc = _bgemm(
+            patches, filters.bits, params.depth, num_threads,
+            out=out, workspace=workspace,
+        )
     acc = acc.reshape(n, geom.out_h * geom.out_w, params.out_channels)
 
     if params.padding is Padding.SAME_ZERO:
         if padding_correction is None:
             raise ValueError("SAME_ZERO padding requires a padding_correction")
-        acc = acc - padding_correction[None, :, :]
+        # In place: acc is freshly computed (or workspace-owned) and the
+        # output transforms below copy, so nothing aliases it.
+        np.subtract(acc, padding_correction[None, :, :], out=acc)
 
     acc = acc.reshape(n, geom.out_h, geom.out_w, params.out_channels)
 
@@ -241,38 +268,111 @@ def bconv2d(
     )
 
 
-def _bgemm(a: np.ndarray, b: np.ndarray, depth: int, num_threads: int) -> np.ndarray:
+def _bgemm(
+    a: np.ndarray,
+    b: np.ndarray,
+    depth: int,
+    num_threads: int,
+    out: np.ndarray | None = None,
+    workspace: Workspace | None = None,
+) -> np.ndarray:
     """Dispatch to the threaded BGEMM when asked; bit-identical either way."""
     if num_threads > 1:
-        return bgemm_parallel(a, b, depth, num_threads=num_threads)
-    return bgemm_blocked(a, b, depth)
+        return bgemm_parallel(
+            a, b, depth, num_threads=num_threads, out=out, workspace=workspace
+        )
+    return bgemm_blocked(a, b, depth, out=out, workspace=workspace)
 
 
 def _grouped_accumulators(
-    x: PackedTensor, filters: PackedFilters, params: BConv2DParams,
+    x: PackedTensor,
+    filters: PackedFilters,
+    params: BConv2DParams,
     num_threads: int = 1,
-):
-    """Grouped convolution: per-group im2col + BGEMM, concatenated.
+    indirection: Indirection | None = None,
+    workspace: Workspace | None = None,
+) -> np.ndarray:
+    """Grouped convolution: per-group im2col + BGEMM into one accumulator.
 
-    Groups are executed on *unpacked slices* re-packed per group: grouped
-    binarized convolutions are rare enough (none of the paper's models use
-    them) that clarity beats squeezing out the repack.
+    When the per-group channel count is word-aligned (``cin_g % 64 == 0``,
+    the common case) each group's input is a direct word-slice of the packed
+    tensor and each group's filters are a direct row-slice of the packed
+    filter matrix — channel blocks pack independently into whole words, so
+    the slices equal what re-packing the dense slices would produce.
+    Otherwise groups straddle word boundaries and the input is unpacked and
+    re-packed per group (grouped binarized convolutions are rare enough —
+    none of the paper's models use them — that the repack is acceptable).
+    Both branches are bit-identical (covered by a dedicated test).
     """
-    cin_g = params.in_channels // params.groups
-    cout_g = params.out_channels // params.groups
-    dense_x = unpack_bits(x)
-    dense_w = unpack_filters(filters)
-    accs = []
-    geom = None
-    for g in range(params.groups):
-        xg = pack_bits(dense_x[..., g * cin_g : (g + 1) * cin_g])
-        wg = pack_filters(dense_w[:, :, :, g * cout_g : (g + 1) * cout_g])
-        patches, geom = im2col_packed(
-            xg, params.kernel_h, params.kernel_w, params.stride,
+    n, in_h, in_w, _ = x.bits.shape
+    if indirection is None:
+        indirection = get_indirection(
+            in_h, in_w, params.kernel_h, params.kernel_w, params.stride,
             params.dilation, params.padding,
         )
-        accs.append(_bgemm(patches, wg.bits, params.depth, num_threads))
-    return np.concatenate(accs, axis=-1), geom
+    cin_g = params.in_channels // params.groups
+    cout_g = params.out_channels // params.groups
+    m = n * indirection.pixels
+    word_aligned = cin_g % 64 == 0
+    if workspace is not None:
+        acc = workspace.take("bconv/acc", (m, params.out_channels), np.int32)
+    else:
+        acc = np.empty((m, params.out_channels), np.int32)
+    if not word_aligned:
+        dense_x = unpack_bits(x)
+        dense_w = unpack_filters(filters)
+    words_g = packed_words(cin_g)
+    for g in range(params.groups):
+        if word_aligned:
+            xg = PackedTensor(
+                x.bits[..., g * words_g : (g + 1) * words_g], channels=cin_g
+            )
+            wg_bits = filters.bits[g * cout_g : (g + 1) * cout_g]
+        else:
+            xg = pack_bits(dense_x[..., g * cin_g : (g + 1) * cin_g])
+            wg_bits = pack_filters(
+                dense_w[:, :, :, g * cout_g : (g + 1) * cout_g]
+            ).bits
+        patches = im2col_indirect(xg, indirection, workspace)
+        _bgemm(
+            patches, wg_bits, params.depth, num_threads,
+            out=acc[:, g * cout_g : (g + 1) * cout_g], workspace=workspace,
+        )
+    return acc
+
+
+def reserve_bconv2d_workspace(
+    pool: WorkspacePool | Workspace,
+    params: BConv2DParams,
+    in_h: int,
+    in_w: int,
+    batch: int,
+    num_threads: int = 1,
+) -> Indirection:
+    """Reserve every scratch buffer one ``bconv2d`` call will take.
+
+    Called by kernel factories at plan-compile time so the plan's
+    :class:`~repro.core.workspace.WorkspacePool` preallocates the arena at
+    the max size over all nodes.  Returns the (memoized) indirection for
+    the geometry so the factory can pin it on the node's params.
+    """
+    ind = get_indirection(
+        in_h, in_w, params.kernel_h, params.kernel_w, params.stride,
+        params.dilation, params.padding,
+    )
+    words = packed_words(params.in_channels)
+    m = batch * ind.pixels
+    if ind.has_spatial_padding:
+        pool.reserve(
+            "bconv/padded", batch * ind.padded_h * ind.padded_w * words, np.uint64
+        )
+    pool.reserve("bconv/patches", m * ind.taps * words, np.uint64)
+    pool.reserve("bconv/acc", m * params.out_channels, np.int32)
+    # Grouped calls run BGEMM per group with narrower operands; the
+    # ungrouped sizes below dominate, so one reservation covers both.
+    for name, size, dtype in bgemm_scratch_spec(m, params.out_channels, num_threads):
+        pool.reserve(name, size, dtype)
+    return ind
 
 
 def unpack_filters(filters: PackedFilters) -> np.ndarray:

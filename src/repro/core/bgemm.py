@@ -22,9 +22,14 @@ where ``K`` is the true depth (number of +/-1 operands per dot product) and
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 import numpy as np
 
 from repro.core.bitpack import popcount
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.workspace import Workspace
 
 #: Tile sizes for the blocked kernel.  Chosen so the XOR temporary stays
 #: around (256 * 128 * words) u64 elements — a few MiB at most.
@@ -77,31 +82,89 @@ def bgemm(a: np.ndarray, b: np.ndarray, depth: int) -> np.ndarray:
     return np.int32(depth) - np.int32(2) * pops
 
 
+def _tile_into(
+    a_panel: np.ndarray,
+    b_panel: np.ndarray,
+    depth: int,
+    out_view: np.ndarray,
+    workspace: Workspace | None,
+    prefix: str,
+) -> None:
+    """One ``tile_m x tile_n`` output panel: XOR -> popcount -> transform.
+
+    With a workspace, the panel is computed one word column at a time into
+    reused 2-D arena buffers under ``{prefix}/xor|pop|out``: each temporary
+    is ``(tile_m, tile_n)`` and stays cache-resident regardless of the
+    word count, where the allocating variant materializes the full 3-D
+    ``(tile_m, tile_n, words)`` XOR broadcast.  Per-word popcounts are
+    exact uint8 values (<= 64) summed in int32, so both variants perform
+    identical integer arithmetic and results are bit-equal.
+    """
+    if workspace is None:
+        x = np.bitwise_xor(a_panel[:, None, :], b_panel[None, :, :])
+        pops = popcount(x).sum(axis=-1, dtype=np.int32)
+        out_view[...] = np.int32(depth) - np.int32(2) * pops
+        return
+    mt, words = a_panel.shape
+    nt = b_panel.shape[0]
+    x = workspace.take(f"{prefix}/xor", (mt, nt), np.uint64)
+    counts = workspace.take(f"{prefix}/pop", (mt, nt), np.uint8)
+    pops = workspace.take(f"{prefix}/out", (mt, nt), np.int32)
+    pops[...] = 0
+    for w in range(words):
+        np.bitwise_xor(a_panel[:, w, None], b_panel[None, :, w], out=x)
+        popcount(x, out=counts)
+        np.add(pops, counts, out=pops)
+    # depth - 2*pop, computed in place: pops * -2 + depth (exact int32).
+    np.multiply(pops, np.int32(-2), out=pops)
+    np.add(pops, np.int32(depth), out=pops)
+    out_view[...] = pops
+
+
+def _check_out(out: np.ndarray | None, m: int, n: int) -> np.ndarray:
+    if out is None:
+        return np.empty((m, n), dtype=np.int32)
+    if out.shape != (m, n) or out.dtype != np.int32:
+        raise ValueError(
+            f"out must be int32 of shape {(m, n)}, got {out.dtype} {out.shape}"
+        )
+    return out
+
+
 def bgemm_blocked(
     a: np.ndarray,
     b: np.ndarray,
     depth: int,
     tile_m: int = _TILE_M,
     tile_n: int = _TILE_N,
+    out: np.ndarray | None = None,
+    workspace: Workspace | None = None,
+    prefix: str = "bgemm",
 ) -> np.ndarray:
     """Cache-tiled BGEMM mirroring Ruy-style panel blocking.
 
     Processes ``tile_m x tile_n`` output panels so the XOR temporary stays
     small regardless of problem size.  Bit-identical to :func:`bgemm`.
+
+    ``out`` (int32, ``(M, N)``) and ``workspace`` make the call
+    allocation-free: accumulators land in ``out`` and the per-tile
+    temporaries live in reused arena buffers named ``{prefix}/*``.
     """
     _check_operands(a, b, depth)
     if tile_m <= 0 or tile_n <= 0:
         raise ValueError("tile sizes must be positive")
     m = a.shape[0]
     n = b.shape[0]
-    out = np.empty((m, n), dtype=np.int32)
+    out = _check_out(out, m, n)
     for i0 in range(0, m, tile_m):
         a_panel = a[i0 : i0 + tile_m]
         for j0 in range(0, n, tile_n):
-            b_panel = b[j0 : j0 + tile_n]
-            x = np.bitwise_xor(a_panel[:, None, :], b_panel[None, :, :])
-            pops = popcount(x).sum(axis=-1, dtype=np.int32)
-            out[i0 : i0 + tile_m, j0 : j0 + tile_n] = (
-                np.int32(depth) - np.int32(2) * pops
+            _tile_into(
+                a_panel,
+                b[j0 : j0 + tile_n],
+                depth,
+                out[i0 : i0 + tile_m, j0 : j0 + tile_n],
+                workspace,
+                prefix,
             )
     return out

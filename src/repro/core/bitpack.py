@@ -109,9 +109,16 @@ def unpack_bits(packed: PackedTensor) -> np.ndarray:
     return np.where(signs == 1, np.float32(-1.0), np.float32(1.0))
 
 
-def popcount(words: np.ndarray) -> np.ndarray:
-    """Per-element population count of an unsigned integer array."""
-    return np.bitwise_count(words)
+def popcount(words: np.ndarray, out: np.ndarray | None = None) -> np.ndarray:
+    """Per-element population count of an unsigned integer array.
+
+    ``out`` may be a uint8 array of matching shape (``np.bitwise_count``
+    returns uint8 counts for uint64 input); the hot path passes a reused
+    workspace buffer here.
+    """
+    if out is None:
+        return np.bitwise_count(words)
+    return np.bitwise_count(words, out=out)
 
 
 def xor_popcount_dot(a: np.ndarray, b: np.ndarray, channels: int) -> int:

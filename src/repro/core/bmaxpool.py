@@ -15,7 +15,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.core.bitpack import PackedTensor
-from repro.core.im2col import _gather_indices, conv_geometry
+from repro.core.im2col import conv_geometry, gather_indices
 from repro.core.types import Padding
 
 
@@ -47,7 +47,7 @@ def bmaxpool2d(
         ((0, 0), (geom.pad_top, geom.pad_bottom), (geom.pad_left, geom.pad_right), (0, 0)),
         constant_values=ones,
     )
-    rows, cols = _gather_indices(geom, pool_h, pool_w, stride, 1)
+    rows, cols = gather_indices(geom, pool_h, pool_w, stride, 1)
     windows = padded[:, rows, cols, :]  # (N, pixels, taps, words)
     pooled = np.bitwise_and.reduce(windows, axis=2)
     return PackedTensor(

@@ -12,6 +12,7 @@ binarized convolutions instead requires the correction mask computed by
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import lru_cache
 
 import numpy as np
 
@@ -36,6 +37,7 @@ def effective_kernel(k: int, dilation: int) -> int:
     return (k - 1) * dilation + 1
 
 
+@lru_cache(maxsize=None)
 def conv_geometry(
     in_h: int,
     in_w: int,
@@ -45,7 +47,13 @@ def conv_geometry(
     dilation: int,
     padding: Padding,
 ) -> ConvGeometry:
-    """Output size and pad amounts, following TensorFlow's SAME/VALID rules."""
+    """Output size and pad amounts, following TensorFlow's SAME/VALID rules.
+
+    Memoized process-wide: every consumer (the converter's padding
+    correction, shape inference, the latency model, the runtime kernels)
+    resolves identical geometry keys to the same frozen
+    :class:`ConvGeometry`, computed once.
+    """
     if min(in_h, in_w, kernel_h, kernel_w, stride, dilation) <= 0:
         raise ValueError("all geometry parameters must be positive")
     eff_h = effective_kernel(kernel_h, dilation)
@@ -72,7 +80,8 @@ def conv_geometry(
     )
 
 
-def _gather_indices(
+@lru_cache(maxsize=None)
+def gather_indices(
     geom: ConvGeometry,
     kernel_h: int,
     kernel_w: int,
@@ -82,6 +91,9 @@ def _gather_indices(
     """Row/col indices into the *padded* input for every (pixel, tap) pair.
 
     Returns two int arrays of shape ``(out_h*out_w, kernel_h*kernel_w)``.
+    Memoized process-wide (the key is pure static geometry) and returned
+    read-only: callers use the arrays as fancy indices and must not write
+    to them.
     """
     oy, ox = np.meshgrid(
         np.arange(geom.out_h), np.arange(geom.out_w), indexing="ij"
@@ -89,7 +101,13 @@ def _gather_indices(
     ky, kx = np.meshgrid(np.arange(kernel_h), np.arange(kernel_w), indexing="ij")
     rows = oy.reshape(-1, 1) * stride + ky.reshape(1, -1) * dilation
     cols = ox.reshape(-1, 1) * stride + kx.reshape(1, -1) * dilation
+    rows.setflags(write=False)
+    cols.setflags(write=False)
     return rows, cols
+
+
+#: historical private name; kernels now import :func:`gather_indices`
+_gather_indices = gather_indices
 
 
 def im2col_float(
@@ -116,7 +134,7 @@ def im2col_float(
         ((0, 0), (geom.pad_top, geom.pad_bottom), (geom.pad_left, geom.pad_right), (0, 0)),
         constant_values=pad_value,
     )
-    rows, cols = _gather_indices(geom, kernel_h, kernel_w, stride, dilation)
+    rows, cols = gather_indices(geom, kernel_h, kernel_w, stride, dilation)
     # (N, pixels, taps, C) -> (N*pixels, taps*C)
     patches = padded[:, rows, cols, :]
     return patches.reshape(n * geom.out_h * geom.out_w, kernel_h * kernel_w * c), geom
@@ -149,7 +167,7 @@ def im2col_packed(
         ((0, 0), (geom.pad_top, geom.pad_bottom), (geom.pad_left, geom.pad_right), (0, 0)),
         constant_values=0,
     )
-    rows, cols = _gather_indices(geom, kernel_h, kernel_w, stride, dilation)
+    rows, cols = gather_indices(geom, kernel_h, kernel_w, stride, dilation)
     patches = padded[:, rows, cols, :]
     return (
         patches.reshape(n * geom.out_h * geom.out_w, kernel_h * kernel_w * words),
@@ -157,6 +175,7 @@ def im2col_packed(
     )
 
 
+@lru_cache(maxsize=None)
 def padded_tap_mask(
     in_h: int,
     in_w: int,
@@ -173,11 +192,18 @@ def padded_tap_mask(
     should have contributed ``0``; the correction subtracts the weight at
     every padded tap.
 
+    Memoized process-wide so the converter (which computes the padding
+    correction per layer) and the runtime (which builds SAME_ZERO
+    indirections) share one mask per geometry key; the returned array is
+    read-only.
+
     Returns a bool array of shape ``(out_h * out_w, kernel_h * kernel_w)``.
     """
-    rows, cols = _gather_indices(geom, kernel_h, kernel_w, stride, dilation)
+    rows, cols = gather_indices(geom, kernel_h, kernel_w, stride, dilation)
     # Indices are in the padded coordinate frame; a tap is padding when it
     # falls outside the original image extent.
     outside_h = (rows < geom.pad_top) | (rows >= geom.pad_top + in_h)
     outside_w = (cols < geom.pad_left) | (cols >= geom.pad_left + in_w)
-    return outside_h | outside_w
+    mask = outside_h | outside_w
+    mask.setflags(write=False)
+    return mask

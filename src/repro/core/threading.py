@@ -6,16 +6,67 @@ do not support it.  This module provides the real thing for our NumPy
 kernels: the blocked BGEMM's row panels are independent, and NumPy's
 bitwise kernels release the GIL, so a thread pool over M-tiles gives
 genuine parallel speedup on multi-core hosts.
+
+Workspace interaction: worker threads must not grow shared buffers, so
+tiles are assigned round-robin to a fixed number of *slots* and each slot
+owns private scratch buffers named ``{prefix}/{slot}/*``.  The calling
+thread pre-touches every slot's buffers at full tile size before
+dispatching, after which workers only ever read the workspace's buffer
+dict — no locking, no reallocation, and disjoint scratch per worker.
 """
 
 from __future__ import annotations
 
 from concurrent.futures import ThreadPoolExecutor
+from typing import TYPE_CHECKING
 
 import numpy as np
 
-from repro.core.bgemm import _TILE_N, bgemm_blocked, _check_operands
-from repro.core.bitpack import popcount
+from repro.core.bgemm import _TILE_M, _TILE_N, _check_operands, _check_out, _tile_into
+from repro.core.bgemm import bgemm_blocked
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.workspace import Workspace
+
+
+def _num_slots(m: int, tile_m: int, num_threads: int) -> int:
+    """How many scratch slots a parallel BGEMM over ``m`` rows uses."""
+    num_tiles = -(-m // tile_m)
+    return min(num_threads, num_tiles)
+
+
+def bgemm_scratch_spec(
+    m: int,
+    n: int,
+    num_threads: int = 1,
+    tile_m: int = _TILE_M,
+    tile_n: int = _TILE_N,
+    prefix: str = "bgemm",
+) -> list[tuple[str, int, np.dtype]]:
+    """The ``(name, size, dtype)`` scratch reservations a BGEMM call needs.
+
+    Mirrors the dispatch in :func:`bgemm_parallel`: single-threaded (or
+    single-tile) calls use unslotted ``{prefix}/*`` buffers, parallel calls
+    use one ``{prefix}/{slot}/*`` set per slot.  The word-at-a-time tile
+    kernel uses 2-D temporaries, so sizes depend only on the tile shape,
+    not the operand word count.  Kernel factories feed this into
+    :meth:`repro.core.workspace.WorkspacePool.reserve` at plan-compile
+    time so the arena is fully sized before the first inference.
+    """
+    mt = min(tile_m, m)
+    nt = min(tile_n, n)
+    if num_threads == 1 or m <= tile_m:
+        prefixes = [prefix]
+    else:
+        prefixes = [
+            f"{prefix}/{slot}" for slot in range(_num_slots(m, tile_m, num_threads))
+        ]
+    spec: list[tuple[str, int, np.dtype]] = []
+    for p in prefixes:
+        spec.append((f"{p}/xor", mt * nt, np.dtype(np.uint64)))
+        spec.append((f"{p}/pop", mt * nt, np.dtype(np.uint8)))
+        spec.append((f"{p}/out", mt * nt, np.dtype(np.int32)))
+    return spec
 
 
 def bgemm_parallel(
@@ -23,13 +74,18 @@ def bgemm_parallel(
     b: np.ndarray,
     depth: int,
     num_threads: int = 2,
-    tile_m: int = 256,
+    tile_m: int = _TILE_M,
     tile_n: int = _TILE_N,
+    out: np.ndarray | None = None,
+    workspace: Workspace | None = None,
+    prefix: str = "bgemm",
 ) -> np.ndarray:
     """Blocked BGEMM with row panels distributed over a thread pool.
 
     Bit-identical to :func:`repro.core.bgemm.bgemm_blocked`; panels write
-    disjoint output rows so no synchronization is needed.
+    disjoint output rows so no synchronization is needed, and tile-to-slot
+    assignment cannot affect results.  ``out``/``workspace`` behave as in
+    ``bgemm_blocked`` with per-slot scratch (see module docstring).
     """
     _check_operands(a, b, depth)
     if num_threads <= 0:
@@ -37,19 +93,32 @@ def bgemm_parallel(
     m = a.shape[0]
     n = b.shape[0]
     if num_threads == 1 or m <= tile_m:
-        return bgemm_blocked(a, b, depth, tile_m, tile_n)
-    out = np.empty((m, n), dtype=np.int32)
+        return bgemm_blocked(
+            a, b, depth, tile_m, tile_n, out=out, workspace=workspace, prefix=prefix
+        )
+    out = _check_out(out, m, n)
+    tiles = range(0, m, tile_m)
+    slots = _num_slots(m, tile_m, num_threads)
+    if workspace is not None:
+        for name, size, dtype in bgemm_scratch_spec(
+            m, n, num_threads, tile_m, tile_n, prefix
+        ):
+            workspace.reserve(name, size, dtype)
 
-    def worker(i0: int) -> None:
-        a_panel = a[i0 : i0 + tile_m]
-        for j0 in range(0, n, tile_n):
-            b_panel = b[j0 : j0 + tile_n]
-            x = np.bitwise_xor(a_panel[:, None, :], b_panel[None, :, :])
-            pops = popcount(x).sum(axis=-1, dtype=np.int32)
-            out[i0 : i0 + tile_m, j0 : j0 + tile_n] = (
-                np.int32(depth) - np.int32(2) * pops
-            )
+    def worker(slot: int) -> None:
+        slot_prefix = f"{prefix}/{slot}"
+        for i0 in tiles[slot::slots]:
+            a_panel = a[i0 : i0 + tile_m]
+            for j0 in range(0, n, tile_n):
+                _tile_into(
+                    a_panel,
+                    b[j0 : j0 + tile_n],
+                    depth,
+                    out[i0 : i0 + tile_m, j0 : j0 + tile_n],
+                    workspace,
+                    slot_prefix,
+                )
 
-    with ThreadPoolExecutor(max_workers=num_threads) as pool:
-        list(pool.map(worker, range(0, m, tile_m)))
+    with ThreadPoolExecutor(max_workers=slots) as pool:
+        list(pool.map(worker, range(slots)))
     return out

@@ -44,7 +44,9 @@ class Executor:
         self.values: dict[str, Value] = {}
         #: wall-clock seconds spent per node in the last run.
         self.node_times: dict[str, float] = {}
-        ctx = OpContext()
+        # Specs let factories resolve static geometry (indirections) at
+        # construction; no workspace — the reference path keeps allocating.
+        ctx = OpContext(specs=graph.tensors)
         self._kernels: list[KernelFn] = [compile_node(n, ctx) for n in graph.nodes]
 
     def run(self, *inputs: Value) -> Value | tuple[Value, ...]:

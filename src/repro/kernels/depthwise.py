@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.core.im2col import conv_geometry, _gather_indices
+from repro.core.im2col import conv_geometry, gather_indices
 from repro.core.types import Activation, Padding
 
 
@@ -44,7 +44,7 @@ def depthwise_conv2d_float(
         ((0, 0), (geom.pad_top, geom.pad_bottom), (geom.pad_left, geom.pad_right), (0, 0)),
         constant_values=pad_value,
     )
-    rows, cols = _gather_indices(geom, kh, kw, stride, dilation)
+    rows, cols = gather_indices(geom, kh, kw, stride, dilation)
     windows = padded[:, rows, cols, :]  # (N, pixels, taps, C)
     out = np.einsum("nptc,tc->npc", windows, weights.reshape(kh * kw, c))
     if bias is not None:

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.core.im2col import _gather_indices, conv_geometry
+from repro.core.im2col import conv_geometry, gather_indices
 from repro.core.types import Padding
 
 
@@ -23,7 +23,7 @@ def _pool_windows(
         ((0, 0), (geom.pad_top, geom.pad_bottom), (geom.pad_left, geom.pad_right), (0, 0)),
         constant_values=pad_value,
     )
-    rows, cols = _gather_indices(geom, pool_h, pool_w, stride, 1)
+    rows, cols = gather_indices(geom, pool_h, pool_w, stride, 1)
     return padded[:, rows, cols, :], geom.out_h, geom.out_w
 
 

@@ -2,8 +2,14 @@
 
 from __future__ import annotations
 
-from repro.core.bconv2d import BConv2DParams, PackedFilters, bconv2d
+from repro.core.bconv2d import (
+    BConv2DParams,
+    PackedFilters,
+    bconv2d,
+    reserve_bconv2d_workspace,
+)
 from repro.core.bmaxpool import bmaxpool2d
+from repro.core.indirection import get_indirection
 from repro.core.output_transform import OutputThresholds
 from repro.core.quantize_ops import lce_dequantize, lce_quantize
 from repro.core.types import Activation, OutputType, Padding
@@ -168,21 +174,50 @@ def _lce_bconv2d_kernel(node, p, ctx):
     int8_scale = p.int8_output_scale
     int8_zp = p.int8_output_zero_point
     num_threads = ctx.num_threads
-    return lambda ins: bconv2d(
-        ins[0],
-        filters,
-        params,
-        multiplier=multiplier,
-        bias=bias,
-        activation=activation,
-        scale_before_activation=scale_before,
-        output_type=output_type,
-        thresholds=thresholds,
-        padding_correction=padding_correction,
-        int8_output_scale=int8_scale,
-        int8_output_zero_point=int8_zp,
-        num_threads=num_threads,
-    )
+
+    # All shape-dependent im2col work happens here, at compile time: the
+    # indirection (gather indices + pad mask) is resolved once per node
+    # through the ParamCache (geometry is batch-independent, so every batch
+    # factor of the engine shares the entry), and when a plan workspace
+    # exists every scratch buffer the call will touch is reserved now.
+    indirection = None
+    pool = None
+    if ctx.specs is not None:
+        batch, in_h, in_w = ctx.specs[node.inputs[0]].shape[:3]
+        indirection = ctx.cache.get(
+            node,
+            "indirection",
+            lambda: get_indirection(
+                in_h, in_w, params.kernel_h, params.kernel_w,
+                params.stride, params.dilation, params.padding,
+            ),
+        )
+        if ctx.workspace is not None:
+            pool = ctx.workspace
+            reserve_bconv2d_workspace(
+                pool, params, in_h, in_w, batch, num_threads
+            )
+
+    def run(ins):
+        return bconv2d(
+            ins[0],
+            filters,
+            params,
+            multiplier=multiplier,
+            bias=bias,
+            activation=activation,
+            scale_before_activation=scale_before,
+            output_type=output_type,
+            thresholds=thresholds,
+            padding_correction=padding_correction,
+            int8_output_scale=int8_scale,
+            int8_output_zero_point=int8_zp,
+            num_threads=num_threads,
+            indirection=indirection,
+            workspace=pool.current() if pool is not None else None,
+        )
+
+    return run
 
 
 def _lce_bconv2d_cost(device, node, p, input_specs, output_specs):

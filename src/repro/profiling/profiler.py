@@ -89,6 +89,45 @@ def profile_engine(
     return _profiles(device, graph, engine.last_node_times)
 
 
+@dataclass(frozen=True)
+class MemoryProfile:
+    """Steady-state memory footprint of the compiled-plan hot path."""
+
+    #: scratch-arena bytes across every compiled plan and executing thread
+    workspace_bytes: int
+    #: process-level indirection cache: entries / bytes / lookup hits
+    indirection_entries: int
+    indirection_bytes: int
+    indirection_hits: int
+
+    def describe(self) -> str:
+        """One display line for the CLI benchmark/profile reports."""
+        return (
+            f"workspace arena: {self.workspace_bytes / 1e6:.2f} MB; "
+            f"indirection cache: {self.indirection_entries} entries "
+            f"({self.indirection_bytes / 1e6:.2f} MB, "
+            f"{self.indirection_hits} hits)"
+        )
+
+
+def memory_profile(engine) -> MemoryProfile:
+    """Workspace-arena and indirection-cache footprint of an engine.
+
+    Complements the latency profiles above: the arena bytes are what the
+    plan path preallocated to run allocation-free, and the indirection
+    cache holds the compile-time im2col plans shared across plans/threads.
+    """
+    from repro.core.indirection import indirection_cache_stats
+
+    ind = indirection_cache_stats()
+    return MemoryProfile(
+        workspace_bytes=engine.stats().workspace_bytes,
+        indirection_entries=ind.entries,
+        indirection_bytes=ind.nbytes,
+        indirection_hits=ind.hits,
+    )
+
+
 def _profiles(
     device: DeviceModel, graph: Graph, measured: dict[str, float]
 ) -> list[NodeProfile]:

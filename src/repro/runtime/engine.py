@@ -60,6 +60,9 @@ class EngineStats:
     param_cache_misses: int
     #: wall-clock seconds spent inside plan execution
     busy_s: float
+    #: total scratch-arena bytes across all compiled plans (every executing
+    #: thread's workspace; see :class:`repro.core.workspace.WorkspacePool`)
+    workspace_bytes: int = 0
     #: cumulative wall-clock seconds per node across all executions
     node_time_s: dict[str, float] = field(default_factory=dict)
 
@@ -419,6 +422,7 @@ class Engine:
             plan_hits, plan_misses = self._plan_hits, self._plan_misses
             param_hits = self._param_cache.hits
             param_misses = self._param_cache.misses
+            workspace_bytes = sum(p.workspace.nbytes for p in self._plans.values())
         with self._stats_lock:
             return EngineStats(
                 requests=self._requests,
@@ -430,5 +434,6 @@ class Engine:
                 param_cache_hits=param_hits,
                 param_cache_misses=param_misses,
                 busy_s=self._busy_s,
+                workspace_bytes=workspace_bytes,
                 node_time_s=dict(self._node_time_s),
             )

@@ -29,12 +29,13 @@ leading extent.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Sequence
 
 import numpy as np
 
 from repro.core.bitpack import PackedTensor
+from repro.core.workspace import WorkspacePool
 from repro.graph.ir import Graph, TensorSpec
 from repro.ops import (
     KernelFn,
@@ -96,6 +97,10 @@ class CompiledPlan:
     #: batched spec and tensor name per slot, for value validation
     slot_specs: tuple[TensorSpec, ...]
     slot_names: tuple[str, ...]
+    #: plan-owned scratch arena; kernel factories reserved their buffers at
+    #: compile time, so steady-state execution is allocation-free.  Each
+    #: executing thread gets its own preallocated workspace from the pool.
+    workspace: WorkspacePool = field(default_factory=WorkspacePool)
 
     @property
     def base_batch(self) -> int:
@@ -165,8 +170,15 @@ def compile_plan(
         raise ValueError(f"num_threads must be positive, got {num_threads}")
     graph.validate()
     cache = cache if cache is not None else ParamCache()
-    ctx = OpContext(batch_factor=batch_factor, num_threads=num_threads, cache=cache)
     specs = rebatched_specs(graph, batch_factor)
+    workspace = WorkspacePool()
+    ctx = OpContext(
+        batch_factor=batch_factor,
+        num_threads=num_threads,
+        cache=cache,
+        specs=specs,
+        workspace=workspace,
+    )
 
     # Slot assignment: graph inputs first, then node outputs in order.
     slot_of: dict[str, int] = {}
@@ -218,4 +230,5 @@ def compile_plan(
         output_slots=tuple(slot_of[t] for t in graph.outputs),
         slot_specs=tuple(specs[t] for t in slot_names),
         slot_names=tuple(slot_names),
+        workspace=workspace,
     )

@@ -161,3 +161,35 @@ class TestPaddedTapMask:
         geom = conv_geometry(5, 5, 3, 3, 1, 1, Padding.VALID)
         mask = padded_tap_mask(5, 5, 3, 3, 1, 1, geom)
         assert not mask.any()
+
+
+class TestMemoization:
+    """Shape-dependent geometry work happens once per shape, not per call."""
+
+    def test_conv_geometry_cache_hits(self):
+        conv_geometry.cache_clear()
+        a = conv_geometry(13, 11, 3, 3, 2, 1, Padding.SAME_ONE)
+        b = conv_geometry(13, 11, 3, 3, 2, 1, Padding.SAME_ONE)
+        assert a is b
+        info = conv_geometry.cache_info()
+        assert info.misses == 1 and info.hits == 1
+
+    def test_gather_indices_cache_hits_and_read_only(self):
+        from repro.core.im2col import gather_indices
+
+        gather_indices.cache_clear()
+        geom = conv_geometry(13, 11, 3, 3, 1, 1, Padding.SAME_ONE)
+        rows, cols = gather_indices(geom, 3, 3, 1, 1)
+        rows2, cols2 = gather_indices(geom, 3, 3, 1, 1)
+        assert rows is rows2 and cols is cols2
+        assert not rows.flags.writeable and not cols.flags.writeable
+        assert gather_indices.cache_info().hits == 1
+
+    def test_padded_tap_mask_cache_hits_and_read_only(self):
+        padded_tap_mask.cache_clear()
+        geom = conv_geometry(13, 11, 3, 3, 1, 1, Padding.SAME_ZERO)
+        mask = padded_tap_mask(13, 11, 3, 3, 1, 1, geom)
+        assert padded_tap_mask(13, 11, 3, 3, 1, 1, geom) is mask
+        assert not mask.flags.writeable
+        info = padded_tap_mask.cache_info()
+        assert info.misses == 1 and info.hits == 1

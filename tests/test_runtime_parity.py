@@ -246,6 +246,45 @@ def _packed_input_net(rng):
     return g
 
 
+def _grouped_bconv_net(rng):
+    """Grouped binarized convolutions, both word-aligned (``cin_g % 64 == 0``,
+    the packed-slice fast path) and unaligned (the repack fallback), under
+    the full thread/batch grid."""
+    from repro.core.bconv2d import pack_filters
+
+    g = Graph("grouped_bconv")
+    x = g.add_input("x", TensorSpec((1, 6, 6, 128)))
+    q = g.add_node("lce_quantize", [x], [TensorSpec((1, 6, 6, 128), "bitpacked")])
+    w1 = rng.standard_normal((3, 3, 64, 20)).astype(np.float32)
+    c1 = g.add_node(
+        "lce_bconv2d",
+        [q.outputs[0]],
+        [TensorSpec((1, 6, 6, 20), "float32")],
+        attrs={
+            "kernel_h": 3, "kernel_w": 3, "in_channels": 128,
+            "out_channels": 20, "groups": 2,
+        },
+        params={"filter_bits": pack_filters(w1).bits},
+    )
+    q2 = g.add_node(
+        "lce_quantize", [c1.outputs[0]], [TensorSpec((1, 6, 6, 20), "bitpacked")]
+    )
+    w2 = rng.standard_normal((3, 3, 10, 6)).astype(np.float32)
+    c2 = g.add_node(
+        "lce_bconv2d",
+        [q2.outputs[0]],
+        [TensorSpec((1, 6, 6, 6), "float32")],
+        attrs={
+            "kernel_h": 3, "kernel_w": 3, "in_channels": 20,
+            "out_channels": 6, "groups": 2,
+        },
+        params={"filter_bits": pack_filters(w2).bits},
+    )
+    g.outputs = [c2.outputs[0]]
+    g.verify()
+    return g
+
+
 SYNTHETIC_GRAPHS = {
     "float": _float_net,
     "binary_same_one": lambda rng: _binary_net(rng, Padding.SAME_ONE),
@@ -257,6 +296,7 @@ SYNTHETIC_GRAPHS = {
     "multi_output": _multi_output_net,
     "packed_output": _packed_output_net,
     "packed_input": _packed_input_net,
+    "grouped_bconv": _grouped_bconv_net,
 }
 
 
@@ -287,6 +327,68 @@ def test_synthetic_parity_run_many(graph_name, rng):
         results = engine.run_many(requests)
     for req, k, result in zip(requests, sizes, results):
         assert_bit_identical(result, reference_outputs(graph, req, k))
+
+
+def test_same_zero_bitpacked_is_covered(rng):
+    """The SAME_ZERO synthetic net must keep exercising the bitpacked-output
+    path (zero-padding correction + thresholding through the arena), so the
+    grid above covers that combination in both Executor and rebatched plans.
+    """
+    graph = SYNTHETIC_GRAPHS["binary_same_zero"](rng)
+    assert any(
+        n.op == "lce_bconv2d"
+        and n.attrs.get("output_type") == "bitpacked"
+        and "padding_correction" in n.params
+        for n in graph.nodes
+    )
+
+
+def test_grouped_net_covers_both_group_branches(rng):
+    """The grouped synthetic net must pin one word-aligned and one unaligned
+    grouped convolution (fast packed-slice path and repack fallback)."""
+    graph = SYNTHETIC_GRAPHS["grouped_bconv"](rng)
+    cin_gs = [
+        n.attrs["in_channels"] // n.attrs["groups"]
+        for n in graph.nodes
+        if n.op == "lce_bconv2d"
+    ]
+    assert any(c % 64 == 0 for c in cin_gs)
+    assert any(c % 64 != 0 for c in cin_gs)
+
+
+def test_plan_workspace_reused_across_calls(rng):
+    """Steady-state plan execution must not reallocate arena buffers: the
+    backing arrays stay identical across calls and the grow counter is flat
+    after the first execution (the zero-per-call-allocations contract)."""
+    graph = SYNTHETIC_GRAPHS["binary_same_one"](rng)
+    with Engine(graph, num_threads=1) as engine:
+        x = _batched_input(graph, 2, rng)
+        engine.run(x)
+        plan = engine.plan(2)
+        assert plan.workspace.num_workspaces == 1
+        ws = plan.workspace.workspaces()[0]
+        assert "bconv/patches" in ws.names()
+        before = {name: id(ws.buffer(name)) for name in ws.names()}
+        grows = ws.grows
+        for _ in range(3):
+            engine.run(x)
+        assert ws.grows == grows
+        assert {name: id(ws.buffer(name)) for name in ws.names()} == before
+
+
+def test_plan_workspace_preallocated_from_reservations(rng):
+    """A plan's arena is fully reserved at compile time: the first executing
+    thread's workspace performs zero grows beyond its preallocation."""
+    graph = SYNTHETIC_GRAPHS["binary_same_zero"](rng)
+    with Engine(graph, num_threads=2) as engine:
+        plan = engine.plan(1)
+        reserved = plan.workspace.reserved_bytes
+        assert reserved > 0
+        ws = plan.workspace.current()  # preallocates from reservations
+        grows = ws.grows
+        engine.run(_batched_input(graph, 1, rng))
+        assert plan.workspace.workspaces()[0] is ws
+        assert ws.grows == grows, "execution grew a buffer past its reservation"
 
 
 # ----------------------------------------------------------------- the zoo

@@ -1,0 +1,92 @@
+"""Tests for repro.core.workspace: the preallocated scratch arena."""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+
+from repro.core.workspace import Workspace, WorkspacePool
+
+
+class TestWorkspace:
+    def test_take_returns_requested_view(self):
+        ws = Workspace()
+        a = ws.take("a", (3, 4), np.int32)
+        assert a.shape == (3, 4) and a.dtype == np.int32
+        assert a.flags.c_contiguous
+
+    def test_grow_only(self):
+        ws = Workspace()
+        big = ws.take("buf", (100,), np.uint64)
+        assert ws.grows == 1
+        small = ws.take("buf", (10, 5), np.uint64)
+        assert ws.grows == 1, "smaller request must not reallocate"
+        assert small.base is big.base or small.base is ws.buffer("buf")
+        ws.take("buf", (200,), np.uint64)
+        assert ws.grows == 2
+
+    def test_same_size_returns_same_storage(self):
+        ws = Workspace()
+        first = ws.take("x", (8, 8), np.uint8)
+        second = ws.take("x", (8, 8), np.uint8)
+        assert first.base is second.base
+
+    def test_dtype_change_reallocates(self):
+        ws = Workspace()
+        ws.take("x", (16,), np.uint64)
+        ws.take("x", (16,), np.int32)
+        assert ws.grows == 2
+
+    def test_names_and_nbytes(self):
+        ws = Workspace()
+        ws.take("b", (4,), np.uint64)
+        ws.take("a", (2,), np.uint8)
+        assert ws.names() == ("a", "b")
+        assert ws.nbytes == 4 * 8 + 2
+
+    def test_reserve_preallocates(self):
+        ws = Workspace()
+        ws.reserve("buf", 64, np.uint64)
+        grows = ws.grows
+        ws.take("buf", (8, 8), np.uint64)
+        assert ws.grows == grows
+
+
+class TestWorkspacePool:
+    def test_reservations_keep_max(self):
+        pool = WorkspacePool()
+        pool.reserve("a", 10, np.uint64)
+        pool.reserve("a", 100, np.uint64)
+        pool.reserve("a", 50, np.uint64)
+        assert pool.reservations() == (("a", 100, np.dtype(np.uint64)),)
+        assert pool.reserved_bytes == 800
+
+    def test_current_is_preallocated(self):
+        pool = WorkspacePool()
+        pool.reserve("a", 100, np.uint64)
+        pool.reserve("b", 10, np.int32)
+        ws = pool.current()
+        grows = ws.grows
+        ws.take("a", (100,), np.uint64)
+        ws.take("b", (10,), np.int32)
+        assert ws.grows == grows, "reserved takes must not allocate"
+
+    def test_current_is_thread_local(self):
+        pool = WorkspacePool()
+        pool.reserve("a", 8, np.uint64)
+        main_ws = pool.current()
+        assert pool.current() is main_ws
+        seen: list[Workspace] = []
+        threads = [
+            threading.Thread(target=lambda: seen.append(pool.current()))
+            for _ in range(3)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        workspaces = {id(ws) for ws in seen} | {id(main_ws)}
+        assert len(workspaces) == 4, "each thread must own a private workspace"
+        assert pool.num_workspaces == 4
+        assert pool.nbytes == 4 * main_ws.nbytes
