@@ -1,15 +1,21 @@
 # Convenience targets for the LCE reproduction.
 
-.PHONY: test test-fast test-slow lint check bench bench-fast experiments appendix extensions examples all
+.PHONY: test test-fast test-slow lint analyze check bench bench-fast experiments appendix extensions examples all
 
 test:
 	pytest tests/
 
-# ruff when installed (config in pyproject.toml), AST fallback otherwise.
+# ruff when installed (config in pyproject.toml), AST fallback otherwise;
+# the repro contract rules (L1xx) always run.
 lint:
 	python tools/lint.py
 
-check: lint test-fast
+# Static analyses: dataflow rules over every zoo model (training and
+# converted graphs) plus the repo lint engine.  Fails on any ERROR finding.
+analyze:
+	PYTHONPATH=src python -m repro.cli analyze
+
+check: lint analyze test-fast
 
 # Skip the opt-in slow grids and the benchmark suite entirely.
 test-fast:

@@ -13,7 +13,9 @@ Run with ``pytest benchmarks/test_engine_vs_executor.py --benchmark-only -s``.
 
 from __future__ import annotations
 
+import json
 import time
+from pathlib import Path
 
 import numpy as np
 import pytest
@@ -26,6 +28,10 @@ from repro.zoo import quicknet
 
 BATCH_SIZES = (1, 4, 8)
 REPEATS = 3
+
+#: machine-readable serving numbers; ``verified`` records that every plan
+#: they came from passed the static-analysis stack (EngineStats.verified)
+BENCH_JSON = Path(__file__).resolve().parent.parent / "BENCH_engine.json"
 
 
 def _measure(fn, repeats: int = REPEATS) -> float:
@@ -55,12 +61,14 @@ def _serving_comparison():
         with Engine(model, num_threads=1, max_batch_size=batch) as engine:
             executor_s = _measure(executor_serve)
             engine_s = _measure(lambda: engine.run_many(samples))
+            verified = engine.stats().verified
         rows.append(
             {
                 "batch": batch,
                 "executor_ms_per_sample": executor_s / batch * 1e3,
                 "engine_ms_per_sample": engine_s / batch * 1e3,
                 "speedup": executor_s / engine_s,
+                "verified": verified,
             }
         )
     return rows
@@ -77,6 +85,18 @@ def test_engine_beats_executor_at_batch(benchmark):
             f"{row['engine_ms_per_sample']:.2f} ms/sample "
             f"({row['speedup']:.2f}x)"
         )
+    BENCH_JSON.write_text(json.dumps({
+        "suite": "engine_vs_executor",
+        "model": "quicknet_small@64",
+        "verified": all(row["verified"] for row in rows),
+        "rows": [
+            {k: (round(v, 3) if isinstance(v, float) else v)
+             for k, v in row.items()}
+            for row in rows
+        ],
+    }, indent=2) + "\n")
+    # Perf numbers must come from analysis-verified plans.
+    assert all(row["verified"] for row in rows)
     # Acceptance criteria: the batched engine wins at batch >= 4, and by a
     # real margin (>= 1.3x) at batch 4 on one thread — the amortization the
     # registry-compiled kernels must not regress.

@@ -1,9 +1,23 @@
-"""Model analysis: MAC counting, speedup statistics, regressions.
+"""Model analysis and static analysis.
 
-Supports the paper's Section 5.3 question — are MACs a useful proxy for
-latency? — and the Table 2/5 speedup summaries.
+Two halves: model *measurement* (MAC counting, speedup statistics,
+regressions — the paper's Section 5.3 question and Table 2/5 summaries)
+and the *static-analysis subsystem* — a graph dataflow verifier
+(:mod:`repro.analysis.dataflow`) and a repo lint engine
+(:mod:`repro.analysis.lint`) sharing one diagnostic core
+(:mod:`repro.analysis.diagnostics`).  See docs/architecture.md §8.
 """
 
+from repro.analysis.dataflow import analyze_graph, check_graph
+from repro.analysis.diagnostics import (
+    RULES,
+    Diagnostic,
+    Severity,
+    errors_of,
+    format_json,
+    format_text,
+)
+from repro.analysis.lint import lint_file, lint_paths, lint_repo
 from repro.analysis.macs import MacCount, count_macs, emacs
 from repro.analysis.regression import loglog_fit
 from repro.analysis.search import CandidateResult, evaluate_candidate, search
@@ -12,13 +26,24 @@ from repro.analysis.summary import LayerSummary, format_summary, model_summary
 
 __all__ = [
     "CandidateResult",
+    "Diagnostic",
     "LayerSummary",
     "MacCount",
+    "RULES",
+    "Severity",
     "SpeedupStats",
+    "analyze_graph",
+    "check_graph",
     "count_macs",
     "emacs",
+    "errors_of",
     "evaluate_candidate",
+    "format_json",
     "format_summary",
+    "format_text",
+    "lint_file",
+    "lint_paths",
+    "lint_repo",
     "loglog_fit",
     "model_summary",
     "search",

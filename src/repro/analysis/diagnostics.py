@@ -1,0 +1,142 @@
+"""The shared diagnostic core of the static-analysis subsystem.
+
+Both analysis engines — the graph dataflow verifier
+(:mod:`repro.analysis.dataflow`) and the repo lint engine
+(:mod:`repro.analysis.lint`) — report through the same vocabulary: a
+:class:`Diagnostic` carries a rule id, a severity, a location (a graph
+node or a ``file:line``), a message and a fix hint.  The rule catalogue
+(:data:`RULES`) is the source of truth for rule ids; ``docs/architecture.md``
+renders the same table for humans.
+
+Severity semantics: an ``ERROR`` means the graph/source violates a
+correctness contract and enforcement points (``Graph.validate``,
+``PassManager.run``, ``make check``) must reject it; a ``WARNING`` flags a
+legal-but-slow or suspicious construct (e.g. the grouped repack fallback)
+and never fails a gate.
+"""
+
+from __future__ import annotations
+
+import enum
+import json
+from dataclasses import dataclass
+
+
+class Severity(enum.Enum):
+    ERROR = "error"
+    WARNING = "warning"
+
+
+@dataclass(frozen=True)
+class Rule:
+    """One catalogued analysis rule."""
+
+    id: str
+    name: str
+    engine: str  # "graph" | "lint"
+    summary: str
+
+
+#: the rule catalogue — every diagnostic's ``rule`` must be a key here
+RULES: dict[str, Rule] = {
+    r.id: r
+    for r in (
+        # ------------------------------------------ graph dataflow engine
+        Rule("G001", "def-before-use", "graph",
+             "every tensor is produced exactly once, before any use, and "
+             "carries a spec (SSA dataflow)"),
+        Rule("G002", "dtype-layout", "graph",
+             "recorded tensor specs match registry re-inference; bitpacked "
+             "tensors only feed binarized-domain ops"),
+        Rule("G003", "bitpack-words", "graph",
+             "bitpacked filter word counts match ceil(cin_g/64) layout; "
+             "grouped convs warn when groups straddle word boundaries"),
+        Rule("G004", "padding-semantics", "graph",
+             "SAME_ZERO binarized convs carry the accumulator correction; "
+             "SAME_ONE/VALID must not (paper Section 3.2)"),
+        Rule("G005", "fusion-legality", "graph",
+             "fused output transforms stay exact: bitpacked output needs "
+             "thresholds and forbids leftover multiplier/bias; int8 needs "
+             "a scale"),
+        # ----------------------------------------------- repo lint engine
+        Rule("L001", "syntax-error", "lint", "file must parse"),
+        Rule("L002", "non-utf8", "lint", "source files must be UTF-8"),
+        Rule("L003", "unused-import", "lint",
+             "imports (including aliases and submodule imports) must be used"),
+        Rule("L004", "trailing-whitespace", "lint", "no trailing whitespace"),
+        Rule("L005", "bad-suppression", "lint",
+             "suppression comments must name a rule and a justification"),
+        Rule("L101", "kernel-alloc", "lint",
+             "core/ kernels taking a workspace must not allocate in steady "
+             "state outside the Workspace API or a `is None` fallback branch"),
+        Rule("L102", "registry-complete", "lint",
+             "every registered op ships schema, shape inference, kernel and "
+             "a cost hook (or an explicit exemption)"),
+        Rule("L103", "unguarded-cache", "lint",
+             "module-level mutable caches in core/runtime must be guarded "
+             "by a module-level lock (the memoization idiom)"),
+        Rule("L104", "nondeterminism", "lint",
+             "no wall-clock, random or entropy sources in compiled-plan "
+             "paths (core/, runtime/, ops/)"),
+    )
+}
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One analysis finding: rule id, severity, location, message, hint."""
+
+    rule: str
+    severity: Severity
+    location: str
+    message: str
+    hint: str = ""
+
+    def __post_init__(self) -> None:
+        if self.rule not in RULES:
+            raise ValueError(f"unknown rule id {self.rule!r}")
+
+    def format(self) -> str:
+        head = f"{self.location}: {self.severity.value} [{self.rule}] {self.message}"
+        return head + (f" (hint: {self.hint})" if self.hint else "")
+
+    def to_dict(self) -> dict:
+        return {
+            "rule": self.rule,
+            "name": RULES[self.rule].name,
+            "severity": self.severity.value,
+            "location": self.location,
+            "message": self.message,
+            "hint": self.hint,
+        }
+
+
+def error(rule: str, location: str, message: str, hint: str = "") -> Diagnostic:
+    return Diagnostic(rule, Severity.ERROR, location, message, hint)
+
+
+def warning(rule: str, location: str, message: str, hint: str = "") -> Diagnostic:
+    return Diagnostic(rule, Severity.WARNING, location, message, hint)
+
+
+def errors_of(diagnostics: list[Diagnostic]) -> list[Diagnostic]:
+    return [d for d in diagnostics if d.severity is Severity.ERROR]
+
+
+def format_text(diagnostics: list[Diagnostic]) -> str:
+    """Human-readable report, one finding per line, errors first."""
+    ordered = sorted(
+        diagnostics, key=lambda d: (d.severity is not Severity.ERROR, d.location)
+    )
+    return "\n".join(d.format() for d in ordered)
+
+
+def format_json(diagnostics: list[Diagnostic], **summary) -> str:
+    """Machine-readable report: findings plus a summary block."""
+    payload = {
+        "diagnostics": [d.to_dict() for d in diagnostics],
+        "errors": len(errors_of(diagnostics)),
+        "warnings": len(diagnostics) - len(errors_of(diagnostics)),
+    }
+    payload.update(summary)
+    return json.dumps(payload, indent=2, sort_keys=True)

@@ -8,6 +8,7 @@ The deployment-side tooling a released inference engine ships with::
     python -m repro summarize --model quicknet_small
     python -m repro convert   --model quicknet --output model.lce
     python -m repro ops       [--op lce_bconv2d]
+    python -m repro analyze   [--model quicknet | --source src] [--format json]
     python -m repro experiments [--appendix|--extensions]
 
 ``--engine`` switches benchmark/profile from the analytical device model to
@@ -113,7 +114,8 @@ def _benchmark_engine(args, model) -> int:
         f"  param cache: {stats.param_cache_hits} hits / "
         f"{stats.param_cache_misses} misses; "
         f"plan cache hit rate {stats.plan_cache_hit_rate:.0%}; "
-        f"batch histogram {dict(sorted(stats.batch_histogram.items()))}"
+        f"batch histogram {dict(sorted(stats.batch_histogram.items()))}; "
+        f"verified: {str(stats.verified).lower()}"
     )
     print("  " + memory.describe())
     return 0
@@ -131,8 +133,12 @@ def cmd_profile(args) -> int:
         with Engine(model, num_threads=args.threads) as engine:
             profiles = profile_engine(device, engine)
             memory = memory_profile(engine)
+            verified = engine.stats().verified
         total = sum(p.measured_s or 0.0 for p in profiles)
-        print(f"{args.model} via Engine (measured): {total * 1e3:.1f} ms")
+        print(
+            f"{args.model} via Engine (measured): {total * 1e3:.1f} ms "
+            f"(verified: {str(verified).lower()})"
+        )
         print(memory.describe() + "\n")
     else:
         profiles = profile_graph(device, model.graph)
@@ -207,6 +213,98 @@ def _hook_doc(fn) -> str:
     return name if name != "<lambda>" else "(see op doc)"
 
 
+def cmd_analyze(args) -> int:
+    """Run the static analyses: graph dataflow rules and/or the repo lint.
+
+    With no target flags, analyzes every zoo model (training and converted
+    graphs) *and* lints the repo source tree — the full ``make analyze``
+    gate.  Exit status 1 on any ERROR finding.
+    """
+    import dataclasses
+    import pathlib
+
+    from repro.analysis import (
+        analyze_graph,
+        errors_of,
+        format_json,
+        format_text,
+        lint_paths,
+        lint_repo,
+    )
+    from repro.graph.ir import GraphError
+
+    def _located(diags, prefix):
+        return [
+            dataclasses.replace(d, location=f"{prefix} {d.location}")
+            for d in diags
+        ]
+
+    graphs_requested = args.all_models or args.model is not None
+    source_requested = args.source is not None
+    if not graphs_requested and not source_requested:
+        graphs_requested = source_requested = True  # the full gate
+
+    diags = []
+    models_analyzed: list[str] = []
+    if graphs_requested:
+        models = (
+            [args.model]
+            if args.model is not None and not args.all_models
+            else sorted(MODEL_REGISTRY)
+        )
+        for name in models:
+            graph = build_model(name, input_size=args.input_size)
+            pre = analyze_graph(graph)
+            diags.extend(_located(pre, f"{name} (training)"))
+            try:
+                graph = convert(graph, in_place=True).graph
+            except GraphError as exc:
+                # convert() enforces per-pass; report instead of crashing
+                # only if the pre-pass analysis didn't already explain it.
+                if not errors_of(pre):
+                    print(f"analyze: convert({name}) failed: {exc}",
+                          file=sys.stderr)
+                    return 1
+                continue
+            diags.extend(_located(analyze_graph(graph), f"{name} (converted)"))
+            models_analyzed.append(name)
+
+    files_linted = 0
+    if source_requested:
+        repo = pathlib.Path(__file__).resolve().parents[2]
+        if args.source:  # explicit files/directories
+            targets = [pathlib.Path(p) for p in args.source]
+            from repro.analysis.lint import iter_python_files
+
+            files_linted = len(iter_python_files(targets))
+            diags.extend(lint_paths(targets))
+        else:
+            from repro.analysis.lint import ROOTS, iter_python_files
+
+            files_linted = len(
+                iter_python_files(repo / r for r in ROOTS if (repo / r).exists())
+            )
+            diags.extend(lint_repo(repo))
+
+    errors = errors_of(diags)
+    if args.format == "json":
+        print(format_json(diags, models=models_analyzed, files=files_linted))
+    else:
+        if diags:
+            print(format_text(diags))
+        warnings = len(diags) - len(errors)
+        scope = []
+        if models_analyzed:
+            scope.append(f"{len(models_analyzed)} model(s)")
+        if source_requested:
+            scope.append(f"{files_linted} file(s)")
+        print(
+            f"analyze: {len(errors)} error(s), {warnings} warning(s) "
+            f"across {', '.join(scope) or 'nothing'}"
+        )
+    return 1 if errors else 0
+
+
 def cmd_experiments(args) -> int:
     from repro.experiments import runner
 
@@ -270,6 +368,34 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("--op", default=None, help="show a single operator")
     p.set_defaults(fn=cmd_ops)
+
+    p = sub.add_parser(
+        "analyze",
+        help="run the static analyses (graph dataflow rules + repo lint)",
+    )
+    p.add_argument(
+        "--model", default=None, choices=sorted(MODEL_REGISTRY),
+        help="analyze one zoo model's training and converted graphs",
+    )
+    p.add_argument(
+        "--all-models", action="store_true",
+        help="analyze every zoo model",
+    )
+    p.add_argument(
+        "--input-size", type=int, default=64,
+        help="spatial input resolution for graph analysis (the rules are "
+        "geometry-checked at any size; 64 keeps the gate fast)",
+    )
+    p.add_argument(
+        "--source", nargs="*", default=None, metavar="PATH",
+        help="lint these files/directories (bare --source lints the repo "
+        "tree and cross-checks the op registry)",
+    )
+    p.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="report format",
+    )
+    p.set_defaults(fn=cmd_analyze)
 
     p = sub.add_parser("experiments", help="regenerate the paper's tables/figures")
     p.add_argument("--appendix", action="store_true")

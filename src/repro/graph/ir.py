@@ -253,19 +253,26 @@ class Graph:
                 raise GraphError(f"tensor spec {t!r} has no producer")
 
     def validate(self) -> None:
-        """Structural invariants plus registry validation of every node.
+        """Structural invariants, registry validation, dataflow analyses.
 
         On top of :meth:`verify`, checks that each node's operator is
         registered in :mod:`repro.ops`, its attributes satisfy the op's
         declared schema, and a latency model exists (or the op is
-        explicitly cost-exempt).  Raises :class:`GraphError` naming the
-        offending node.  Runs at every executor/plan construction and at
-        convert/save/load time, so malformed graphs fail before execution.
+        explicitly cost-exempt) — then runs the graph dataflow analyses
+        (:mod:`repro.analysis.dataflow`: SSA, dtype/layout re-inference,
+        bitpack word layout, padding semantics, fusion legality) and
+        raises on any ERROR finding.  Raises :class:`GraphError` naming
+        the offending node and rule.  Runs at every executor/plan
+        construction and at convert/save/load time, so illegal graphs
+        fail before execution.
         """
         self.verify()
-        from repro.ops import validate_graph  # local import: ops imports this module
+        # Local imports: both modules import this one.
+        from repro.analysis.dataflow import check_graph
+        from repro.ops import validate_graph
 
         validate_graph(self)
+        check_graph(self)
 
     # ----------------------------------------------------------------- misc
     def param_nbytes(self) -> int:

@@ -5,7 +5,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable
 
-from repro.graph.ir import Graph
+from repro.graph.ir import Graph, GraphError
 
 PassFn = Callable[[Graph], bool]
 
@@ -15,8 +15,12 @@ class PassManager:
     """Runs a sequence of passes, optionally to a fixpoint.
 
     Mirrors the MLIR pass-manager role in the paper's converter: the graph
-    is re-verified after every pass, so an invalid rewrite fails loudly at
-    the pass that introduced it.
+    is re-validated after **every** pass — whether or not the pass reported
+    a change, so a buggy pass that mutates but returns ``False`` cannot
+    skip verification — and a failure names the pass that broke the graph.
+    Validation is the full :meth:`Graph.validate` stack: structure, attr
+    schemas, and the dataflow analyses (SSA, dtype/layout, bitpack words,
+    padding semantics, fusion legality).
     """
 
     passes: list[tuple[str, PassFn]] = field(default_factory=list)
@@ -30,13 +34,21 @@ class PassManager:
         """Run the pipeline until no pass changes the graph.
 
         Returns a histogram: how many iterations each pass reported changes.
+        Raises :class:`GraphError` naming the offending pass (and the rule
+        it violated) as soon as any pass leaves the graph invalid.
         """
         changed_counts = {name: 0 for name, _ in self.passes}
         for _ in range(self.max_iterations):
             any_change = False
             for name, fn in self.passes:
-                if fn(graph):
-                    graph.verify()
+                changed = bool(fn(graph))
+                try:
+                    graph.validate()
+                except GraphError as exc:
+                    raise GraphError(
+                        f"pass {name!r} left the graph invalid: {exc}"
+                    ) from exc
+                if changed:
                     changed_counts[name] += 1
                     any_change = True
             if not any_change:

@@ -94,6 +94,7 @@ register(
         kernel=lambda node, p, ctx: lambda ins: lce_dequantize(ins[0]),
         cost=_lce_dequantize_cost,
         binary=True,
+        accepts_bitpacked=True,
     )
 )
 
@@ -249,6 +250,7 @@ register(
         cost=_lce_bconv2d_cost,
         op_class=CLASS_LCE_BCONV,
         binary=True,
+        accepts_bitpacked=True,
         mac_layer=True,
     )
 )
@@ -284,5 +286,6 @@ register(
         kernel=lambda node, p, ctx: pool_kernel(p, bmaxpool2d),
         cost=_lce_bmaxpool_cost,
         binary=True,
+        accepts_bitpacked=True,
     )
 )

@@ -217,6 +217,10 @@ class OpSpec:
     op_class: str = CLASS_FP_OTHER
     #: True for binarized-domain ops (``lce_*``)
     binary: bool = False
+    #: True when the op's kernel understands bitpacked (PackedTensor)
+    #: inputs; the dataflow analysis (rule G002) rejects any bitpacked
+    #: tensor feeding an op without this flag
+    accepts_bitpacked: bool = False
     #: True for MAC layers that anchor a Figure-5 layer stack
     mac_layer: bool = False
     #: True when the float kernel is not row-stable across batch sizes and

@@ -63,6 +63,10 @@ class EngineStats:
     #: total scratch-arena bytes across all compiled plans (every executing
     #: thread's workspace; see :class:`repro.core.workspace.WorkspacePool`)
     workspace_bytes: int = 0
+    #: True when every compiled plan passed the static-analysis stack at
+    #: compile time (:attr:`repro.runtime.plan.CompiledPlan.verified`), so
+    #: benchmark numbers provably came from a legal graph
+    verified: bool = True
     #: cumulative wall-clock seconds per node across all executions
     node_time_s: dict[str, float] = field(default_factory=dict)
 
@@ -423,6 +427,7 @@ class Engine:
             param_hits = self._param_cache.hits
             param_misses = self._param_cache.misses
             workspace_bytes = sum(p.workspace.nbytes for p in self._plans.values())
+            verified = all(p.verified for p in self._plans.values())
         with self._stats_lock:
             return EngineStats(
                 requests=self._requests,
@@ -435,5 +440,6 @@ class Engine:
                 param_cache_misses=param_misses,
                 busy_s=self._busy_s,
                 workspace_bytes=workspace_bytes,
+                verified=verified,
                 node_time_s=dict(self._node_time_s),
             )

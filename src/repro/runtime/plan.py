@@ -101,6 +101,11 @@ class CompiledPlan:
     #: compile time, so steady-state execution is allocation-free.  Each
     #: executing thread gets its own preallocated workspace from the pool.
     workspace: WorkspacePool = field(default_factory=WorkspacePool)
+    #: True when the source graph passed the full static-analysis stack
+    #: (``Graph.validate``: structure, schemas, dataflow rules G001-G005)
+    #: at compile time.  :func:`compile_plan` always sets this; it is False
+    #: only for hand-assembled plans that bypassed validation.
+    verified: bool = False
 
     @property
     def base_batch(self) -> int:
@@ -231,4 +236,5 @@ def compile_plan(
         slot_specs=tuple(specs[t] for t in slot_names),
         slot_names=tuple(slot_names),
         workspace=workspace,
+        verified=True,  # graph.validate() above ran the dataflow analyses
     )

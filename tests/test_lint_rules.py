@@ -1,0 +1,420 @@
+"""Seeded-violation tests for the repo lint engine (L-rules).
+
+Each rule in :mod:`repro.analysis.lint` is exercised against a fixture
+tree of known-bad snippets written under ``tmp_path`` — contract rules
+are path-scoped (``core/``, ``runtime/``, ``ops/``), so the fixtures
+recreate those directory shapes.  The real repo tree must lint clean,
+and the ``repro.cli analyze`` entry point must exit non-zero on a
+seeded violation.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import subprocess
+import sys
+import textwrap
+
+import pytest
+
+from repro.analysis.diagnostics import Severity, errors_of
+from repro.analysis.lint import (
+    ROOTS,
+    check_specs,
+    iter_python_files,
+    lint_file,
+    lint_paths,
+    lint_repo,
+)
+
+REPO = pathlib.Path(__file__).resolve().parent.parent
+
+
+def _write(tmp_path, relpath, source):
+    path = tmp_path / relpath
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(textwrap.dedent(source))
+    return path
+
+
+def _lint(tmp_path, relpath, source, **kwargs):
+    return lint_file(_write(tmp_path, relpath, source), **kwargs)
+
+
+def _rules(diags):
+    return {d.rule for d in diags}
+
+
+# ------------------------------------------------------------- style rules
+
+
+def test_l001_syntax_error(tmp_path):
+    diags = _lint(tmp_path, "pkg/broken.py", "def f(:\n")
+    assert _rules(diags) == {"L001"}
+
+
+def test_l002_non_utf8_file_is_reported_not_skipped(tmp_path):
+    path = tmp_path / "latin1.py"
+    path.write_bytes(b"# caf\xe9\nx = 1\n")
+    diags = lint_file(path)
+    assert _rules(diags) == {"L002"}
+    assert diags[0].severity is Severity.ERROR
+
+
+def test_l003_unused_import_as_alias(tmp_path):
+    diags = _lint(tmp_path, "m.py", """\
+        from os import path as p
+        from os import sep
+
+        print(sep)
+        """)
+    assert [d.rule for d in diags] == ["L003"]
+    assert "path as p" in diags[0].message
+
+
+def test_l003_unused_dotted_submodule_import(tmp_path):
+    diags = _lint(tmp_path, "m.py", """\
+        import os.path
+        import json
+
+        print(json.dumps({}))
+        """)
+    assert [d.rule for d in diags] == ["L003"]
+    assert "os.path" in diags[0].message
+
+
+def test_l003_dotted_import_used_via_root_binding(tmp_path):
+    # `import a.b` binds `a`; using `a` anywhere counts as a use.
+    assert not _lint(tmp_path, "m.py", """\
+        import os.path
+
+        print(os.path.sep)
+        """)
+
+
+def test_l003_skips_underscore_and_reexported_names(tmp_path):
+    assert not _lint(tmp_path, "m.py", """\
+        import json as _json
+        from os import sep
+
+        __all__ = ["sep"]
+        """)
+
+
+def test_l004_trailing_whitespace(tmp_path):
+    diags = _lint(tmp_path, "m.py", "x = 1  \n")
+    assert _rules(diags) == {"L004"}
+
+
+def test_style_rules_can_be_disabled(tmp_path):
+    assert not _lint(tmp_path, "m.py", "import json\n", style=False)
+
+
+# ------------------------------------------------------------- suppression
+
+
+def _allow(spec):
+    # Built at runtime so this test file's own source never contains a
+    # malformed suppression for the repo-tree lint to trip over.
+    return "# repro: " + f"allow{spec}"
+
+
+def test_l005_suppression_without_justification(tmp_path):
+    diags = _lint(tmp_path, "m.py", f"import json  {_allow('[L003]')}\n")
+    # The malformed suppression is an error AND does not suppress L003.
+    assert _rules(diags) == {"L005", "L003"}
+
+
+def test_l005_suppression_without_rule_ids(tmp_path):
+    diags = _lint(tmp_path, "m.py", f"import json  {_allow('[] why not')}\n")
+    assert "L005" in _rules(diags)
+
+
+def test_justified_suppression_hides_the_finding(tmp_path):
+    assert not _lint(
+        tmp_path, "m.py",
+        "import json  # repro: allow[L003] re-exported for plugins\n",
+    )
+
+
+def test_suppression_only_hides_the_named_rule(tmp_path):
+    diags = _lint(
+        tmp_path, "m.py",
+        "import json  # repro: allow[L004] wrong rule named\n",
+    )
+    assert _rules(diags) == {"L003"}
+
+
+# ------------------------------------------------- L101: kernel allocations
+
+
+_KERNEL_BAD = """\
+    import numpy as np
+
+    def bgemm(x, out, workspace):
+        scratch = np.empty((4, 4), np.float32)
+        out[:] = x @ scratch
+"""
+
+_KERNEL_GUARDED = """\
+    import numpy as np
+
+    def bgemm(x, out, workspace=None):
+        if workspace is None:
+            scratch = np.empty((4, 4), np.float32)
+        else:
+            scratch = workspace.take((4, 4), np.float32)
+        out[:] = x @ scratch
+
+    def bgemm2(x, out, workspace=None):
+        if workspace is not None:
+            scratch = workspace.take((4, 4), np.float32)
+        else:
+            scratch = np.zeros((4, 4), np.float32)
+        out[:] = x @ scratch
+"""
+
+
+def test_l101_unguarded_allocation_in_core_kernel(tmp_path):
+    diags = _lint(tmp_path, "src/repro/core/k.py", _KERNEL_BAD, style=False)
+    assert _rules(diags) == {"L101"}
+    assert "np.empty" in diags[0].message
+
+
+def test_l101_allocating_fallback_branches_are_allowed(tmp_path):
+    assert not _lint(
+        tmp_path, "src/repro/core/k.py", _KERNEL_GUARDED, style=False
+    )
+
+
+def test_l101_only_applies_to_workspace_kernels(tmp_path):
+    # No `workspace` parameter -> not a steady-state kernel.
+    assert not _lint(tmp_path, "src/repro/core/k.py", """\
+        import numpy as np
+
+        def pack(x):
+            return np.zeros_like(x)
+        """, style=False)
+
+
+def test_l101_scoped_to_core_paths(tmp_path):
+    assert not _lint(tmp_path, "src/repro/zoo/k.py", _KERNEL_BAD, style=False)
+
+
+def test_l101_suppression_with_reason(tmp_path):
+    src = _KERNEL_BAD.replace(
+        "np.empty((4, 4), np.float32)",
+        "np.empty((4, 4), np.float32)  # repro: allow[L101] warmup only",
+    )
+    assert not _lint(tmp_path, "src/repro/core/k.py", src, style=False)
+
+
+# ---------------------------------------------- L102: registry completeness
+
+
+class _FakeSpec:
+    def __init__(self, **kw):
+        from repro.ops.registry import find_spec
+
+        real = find_spec("relu")
+        self.name = "fake_op"
+        self.attrs = real.attrs
+        self.infer = real.infer
+        self.kernel = real.kernel
+        self.cost = real.cost
+        self.op_class = real.op_class
+        for k, v in kw.items():
+            setattr(self, k, v)
+
+
+@pytest.mark.parametrize(
+    "defect",
+    [
+        {"attrs": ["not-a-schema"]},
+        {"infer": None},
+        {"kernel": None},
+        {"cost": None},
+        {"op_class": "No Such Class"},
+    ],
+    ids=["attrs", "infer", "kernel", "cost", "op_class"],
+)
+def test_l102_incomplete_spec_is_an_error(defect):
+    diags = check_specs([_FakeSpec(**defect)], exempt=frozenset())
+    assert _rules(errors_of(diags)) == {"L102"}
+
+
+def test_l102_cost_exemption_is_honored():
+    diags = check_specs([_FakeSpec(cost=None)], exempt=frozenset({"fake_op"}))
+    assert not errors_of(diags)
+
+
+def test_l102_stale_exemption_warns():
+    diags = check_specs([_FakeSpec()], exempt=frozenset({"ghost_op"}))
+    assert not errors_of(diags)
+    assert [d.rule for d in diags] == ["L102"]
+    assert "stale" in diags[0].message
+
+
+def test_l102_live_registry_is_complete():
+    assert not errors_of(check_specs())
+
+
+# ------------------------------------------------ L103: unguarded caches
+
+
+_CACHE_BAD = """\
+    _CACHE = {}
+
+    def lookup(key):
+        if key not in _CACHE:
+            _CACHE[key] = compute(key)
+        return _CACHE[key]
+"""
+
+_CACHE_GOOD = """\
+    import threading
+
+    _CACHE = {}
+    _LOCK = threading.Lock()
+
+    def lookup(key):
+        with _LOCK:
+            if key not in _CACHE:
+                _CACHE[key] = compute(key)
+            return _CACHE[key]
+"""
+
+
+def test_l103_cache_mutation_without_module_lock(tmp_path):
+    diags = _lint(
+        tmp_path, "src/repro/runtime/cache.py", _CACHE_BAD, style=False
+    )
+    assert _rules(diags) == {"L103"}
+
+
+def test_l103_module_lock_satisfies_the_rule(tmp_path):
+    assert not _lint(
+        tmp_path, "src/repro/runtime/cache.py", _CACHE_GOOD, style=False
+    )
+
+
+def test_l103_scoped_to_core_and_runtime(tmp_path):
+    assert not _lint(
+        tmp_path, "src/repro/experiments/cache.py", _CACHE_BAD, style=False
+    )
+
+
+# -------------------------------------------------- L104: nondeterminism
+
+
+def test_l104_entropy_sources_in_plan_paths(tmp_path):
+    diags = _lint(tmp_path, "src/repro/ops/noisy.py", """\
+        import time
+
+        import numpy as np
+
+        def jitter():
+            return np.random.default_rng().random() + time.time()
+        """, style=False)
+    assert _rules(diags) == {"L104"}
+    messages = " ".join(d.message for d in diags)
+    assert "np.random" in messages and "time.time" in messages
+
+
+def test_l104_monotonic_timers_are_exempt(tmp_path):
+    assert not _lint(tmp_path, "src/repro/runtime/timer.py", """\
+        import time
+
+        def tick():
+            return time.perf_counter()
+        """, style=False)
+
+
+def test_l104_scoped_to_plan_paths(tmp_path):
+    assert not _lint(tmp_path, "src/repro/zoo/init.py", """\
+        import numpy as np
+
+        def weights(shape):
+            return np.random.default_rng(0).standard_normal(shape)
+        """, style=False)
+
+
+# ------------------------------------------------------------ tree drivers
+
+
+def test_iter_python_files_walks_directories(tmp_path):
+    a = _write(tmp_path, "pkg/a.py", "x = 1\n")
+    b = _write(tmp_path, "pkg/sub/b.py", "y = 2\n")
+    _write(tmp_path, "pkg/notes.txt", "not python\n")
+    assert iter_python_files([tmp_path]) == [a, b]
+    assert iter_python_files([a]) == [a]
+
+
+def test_lint_paths_aggregates_and_relativizes(tmp_path):
+    _write(tmp_path, "src/repro/core/bad.py", _KERNEL_BAD)
+    _write(tmp_path, "src/repro/runtime/bad.py", _CACHE_BAD)
+    diags = lint_paths([tmp_path / "src"], root=tmp_path, style=False)
+    assert _rules(diags) == {"L101", "L103"}
+    for d in diags:
+        assert not pathlib.Path(d.location.rsplit(":", 1)[0]).is_absolute()
+
+
+def test_repo_source_tree_lints_clean():
+    """The gate `make analyze` enforces: our own tree has zero errors."""
+    diags = lint_repo(REPO, style=True)
+    assert not errors_of(diags), "\n".join(d.format() for d in diags)
+
+
+# -------------------------------------------------------- CLI entry point
+
+
+def _run_cli(*argv, cwd=REPO):
+    env = {"PYTHONPATH": str(REPO / "src"), "PATH": "/usr/bin:/bin"}
+    return subprocess.run(
+        [sys.executable, "-m", "repro.cli", *argv],
+        capture_output=True, text=True, cwd=cwd, env=env,
+    )
+
+
+def test_cli_analyze_clean_source_exits_zero(tmp_path):
+    _write(tmp_path, "clean.py", "x = 1\n")
+    proc = _run_cli("analyze", "--source", str(tmp_path))
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+    assert "0 error(s)" in proc.stdout
+
+
+def test_cli_analyze_seeded_violation_exits_nonzero(tmp_path):
+    bad = _write(tmp_path, "src/repro/core/bad.py", _KERNEL_BAD)
+    proc = _run_cli("analyze", "--source", str(bad))
+    assert proc.returncode == 1
+    assert "[L101]" in proc.stdout
+
+
+def test_cli_analyze_json_format(tmp_path):
+    bad = _write(tmp_path, "src/repro/core/bad.py", _KERNEL_BAD)
+    proc = _run_cli("analyze", "--source", str(bad), "--format", "json")
+    assert proc.returncode == 1
+    payload = json.loads(proc.stdout)
+    assert payload["errors"] == 1
+    assert payload["diagnostics"][0]["rule"] == "L101"
+
+
+def test_cli_analyze_model_gate(tmp_path):
+    proc = _run_cli("analyze", "--model", "quicknet_small", "--input-size", "64")
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+    assert "0 error(s)" in proc.stdout
+
+
+def test_tools_lint_runs_clean():
+    env = {"PATH": "/usr/bin:/bin"}
+    proc = subprocess.run(
+        [sys.executable, str(REPO / "tools" / "lint.py")],
+        capture_output=True, text=True, cwd=REPO, env=env,
+    )
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+
+
+def test_roots_exist():
+    for r in ROOTS:
+        assert (REPO / r).exists(), r

@@ -104,6 +104,8 @@ class TestCaching:
         assert stats.plan_cache_misses == 2  # factors 1 and 2
         assert stats.plan_cache_hits == 1
         assert stats.plan_cache_hit_rate == pytest.approx(1 / 3)
+        # Every compiled plan passed the dataflow analyses.
+        assert stats.verified is True
 
     def test_param_cache_shared_across_plans(self, rng):
         model = convert(_binarized_net(rng), in_place=True)

@@ -1,22 +1,27 @@
 #!/usr/bin/env python3
-"""Repo linter: run ruff when installed, else a minimal AST fallback.
+"""Repo linter: ruff (when installed) plus the repro contract rules.
 
-``make lint`` calls this script.  In environments with ruff available it
-defers entirely to ``ruff check`` (configured in pyproject.toml).  In
-hermetic environments without ruff it still catches the high-signal
-problems: syntax errors, unused imports, undefined ``__all__`` entries
-and trailing whitespace.
+``make lint`` calls this script.  Style checking defers to ``ruff check``
+(configured in pyproject.toml) when ruff is available; otherwise the AST
+fallback in :mod:`repro.analysis.lint` covers syntax errors, unused
+imports (including ``as`` aliases and ``import a.b.c`` submodule forms),
+trailing whitespace and non-UTF-8 files.  The repo-specific contract
+rules (L101 kernel allocations, L102 registry completeness, L103 cache
+guarding, L104 nondeterminism) always run — ruff cannot express them.
 """
 
 from __future__ import annotations
 
-import ast
 import pathlib
 import shutil
 import subprocess
 import sys
 
-ROOTS = ("src", "tests", "benchmarks", "tools")
+REPO = pathlib.Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO / "src"))
+
+from repro.analysis.diagnostics import errors_of, format_text  # noqa: E402
+from repro.analysis.lint import ROOTS, lint_repo  # noqa: E402
 
 
 def run_ruff(repo: pathlib.Path) -> int:
@@ -25,89 +30,21 @@ def run_ruff(repo: pathlib.Path) -> int:
     )
 
 
-class _ImportUsage(ast.NodeVisitor):
-    """Collect per-module imported names and every name that is read."""
-
-    def __init__(self) -> None:
-        self.imported: dict[str, int] = {}
-        self.used: set[str] = set()
-
-    def visit_Import(self, node: ast.Import) -> None:
-        for alias in node.names:
-            name = alias.asname or alias.name.split(".")[0]
-            self.imported.setdefault(name, node.lineno)
-
-    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
-        if node.module == "__future__":
-            return
-        for alias in node.names:
-            if alias.name == "*":
-                continue
-            name = alias.asname or alias.name
-            self.imported.setdefault(name, node.lineno)
-
-    def visit_Name(self, node: ast.Name) -> None:
-        if isinstance(node.ctx, ast.Load):
-            self.used.add(node.id)
-
-    def visit_Attribute(self, node: ast.Attribute) -> None:
-        self.generic_visit(node)
-
-
-def _string_constants(tree: ast.AST) -> set[str]:
-    return {
-        n.value
-        for n in ast.walk(tree)
-        if isinstance(n, ast.Constant) and isinstance(n.value, str)
-    }
-
-
-def check_file(path: pathlib.Path) -> list[str]:
-    problems: list[str] = []
-    text = path.read_text()
-    try:
-        tree = ast.parse(text, filename=str(path))
-    except SyntaxError as exc:
-        return [f"{path}:{exc.lineno}: syntax error: {exc.msg}"]
-
-    usage = _ImportUsage()
-    usage.visit(tree)
-    # Names re-exported via __all__ or docstring-referenced count as used.
-    exported = _string_constants(tree)
-    for name, lineno in sorted(usage.imported.items(), key=lambda kv: kv[1]):
-        if name.startswith("_"):
-            continue  # conventional side-effect / registration imports
-        if name not in usage.used and name not in exported:
-            problems.append(f"{path}:{lineno}: unused import {name!r}")
-
-    for lineno, line in enumerate(text.splitlines(), 1):
-        if line != line.rstrip():
-            problems.append(f"{path}:{lineno}: trailing whitespace")
-    return problems
-
-
-def run_fallback(repo: pathlib.Path) -> int:
-    problems: list[str] = []
-    for root in ROOTS:
-        base = repo / root
-        if not base.exists():
-            continue
-        for path in sorted(base.rglob("*.py")):
-            problems.extend(check_file(path))
-    for p in problems:
-        print(p)
-    if problems:
-        print(f"{len(problems)} problem(s)")
-        return 1
-    return 0
-
-
 def main() -> int:
-    repo = pathlib.Path(__file__).resolve().parent.parent
     if shutil.which("ruff"):
-        return run_ruff(repo)
-    print("lint: ruff not found, using tools/lint.py AST fallback")
-    return run_fallback(repo)
+        status = run_ruff(REPO)
+        diags = lint_repo(REPO, style=False)  # contracts only; ruff did style
+    else:
+        print("lint: ruff not found, using repro.analysis.lint AST fallback")
+        status = 0
+        diags = lint_repo(REPO, style=True)
+    if diags:
+        print(format_text(diags))
+        errors = errors_of(diags)
+        print(f"{len(errors)} error(s), {len(diags) - len(errors)} warning(s)")
+        if errors:
+            status = status or 1
+    return status
 
 
 if __name__ == "__main__":
