@@ -1,6 +1,6 @@
 # Convenience targets for the LCE reproduction.
 
-.PHONY: test test-fast test-slow lint analyze check bench bench-fast experiments appendix extensions examples all
+.PHONY: test test-fast test-slow lint analyze check trace-smoke bench bench-fast experiments appendix extensions examples all
 
 test:
 	pytest tests/
@@ -15,7 +15,16 @@ lint:
 analyze:
 	PYTHONPATH=src python -m repro.cli analyze
 
-check: lint analyze test-fast
+check: lint analyze test-fast trace-smoke
+
+# End-to-end observability smoke: trace a QuickNet-small engine run,
+# schema-validate the Chrome-trace export, and print the unified metrics
+# registry.  ``cli trace`` exits non-zero on any validation problem.
+trace-smoke:
+	PYTHONPATH=src python -m repro.cli trace quicknet_small --input-size 32 \
+		--batch 2 --out /tmp/repro-trace-smoke.json
+	PYTHONPATH=src python -m repro.cli stats --model quicknet_small \
+		--input-size 32 --batch 2 --repeats 1
 
 # Skip the opt-in slow grids and the benchmark suite entirely.
 test-fast:

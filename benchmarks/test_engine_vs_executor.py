@@ -62,6 +62,7 @@ def _serving_comparison():
             executor_s = _measure(executor_serve)
             engine_s = _measure(lambda: engine.run_many(samples))
             verified = engine.stats().verified
+            metrics = engine.metrics_snapshot()
         rows.append(
             {
                 "batch": batch,
@@ -71,12 +72,13 @@ def _serving_comparison():
                 "verified": verified,
             }
         )
-    return rows
+    # metrics: unified-registry snapshot of the last (largest-batch) engine
+    return rows, metrics
 
 
 @pytest.mark.benchmark(group="engine-vs-executor")
 def test_engine_beats_executor_at_batch(benchmark):
-    rows = run_once(benchmark, _serving_comparison)
+    rows, metrics = run_once(benchmark, _serving_comparison)
     print("\nQuickNet-small (64px), per-call Executor vs Engine.run_many:")
     for row in rows:
         print(
@@ -89,6 +91,9 @@ def test_engine_beats_executor_at_batch(benchmark):
         "suite": "engine_vs_executor",
         "model": "quicknet_small@64",
         "verified": all(row["verified"] for row in rows),
+        # Unified-registry snapshot (engine + process-wide cache gauges)
+        # from the largest-batch engine, so the numbers are attributable.
+        "metrics": metrics,
         "rows": [
             {k: (round(v, 3) if isinstance(v, float) else v)
              for k, v in row.items()}

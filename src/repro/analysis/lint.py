@@ -19,12 +19,15 @@ and L004 trailing whitespace.
 - L102: every op registered in :mod:`repro.ops` ships an attribute
   schema, shape inference, a kernel factory and a cost hook (or an entry
   in ``COST_EXEMPT_OPS``) — checked at lint time, not first use.
-- L103: module-level mutable caches in ``core/``/``runtime/`` mutated
-  from functions require a module-level ``threading.Lock``/``RLock`` (the
-  ``core.indirection`` memoization idiom).
-- L104: compiled-plan paths (``core/``, ``runtime/``, ``ops/``) must be
-  deterministic: no ``np.random``/``random``/``secrets``/``os.urandom``
-  and no wall-clock ``time.time`` (monotonic timers are fine).
+- L103: module-level mutable caches in ``core/``/``runtime/``/``obs/``
+  mutated from functions require a module-level
+  ``threading.Lock``/``RLock`` (the ``core.indirection`` memoization
+  idiom).
+- L104: compiled-plan paths (``core/``, ``runtime/``, ``ops/``, ``obs/``)
+  must be deterministic: no ``np.random``/``random``/``secrets``/
+  ``os.urandom`` and no wall-clock ``time.time`` (monotonic timers are
+  fine).  The tracer's single recording-boundary wall-clock anchor in
+  ``obs/trace.py`` carries a justified ``allow[L104]``.
 
 Suppression: append ``# repro: allow[L101] <justification>`` to the
 offending line.  A suppression without a justification is itself an error
@@ -69,7 +72,7 @@ def _in_core(path: pathlib.Path) -> bool:
 
 
 def _in_plan_path(path: pathlib.Path) -> bool:
-    return bool(_segments(path) & {"core", "runtime", "ops"})
+    return bool(_segments(path) & {"core", "runtime", "ops", "obs"})
 
 
 # ------------------------------------------------------------- suppression
@@ -472,7 +475,7 @@ def lint_file(
         diags.extend(_style_rules(tree, text, loc))
     if _in_core(path):
         diags.extend(_kernel_alloc_rule(tree, loc))
-    if _segments(path) & {"core", "runtime"}:
+    if _segments(path) & {"core", "runtime", "obs"}:
         diags.extend(_cache_guard_rule(tree, loc))
     if _in_plan_path(path):
         diags.extend(_nondeterminism_rule(tree, loc))

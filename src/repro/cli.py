@@ -10,6 +10,8 @@ The deployment-side tooling a released inference engine ships with::
     python -m repro ops       [--op lce_bconv2d]
     python -m repro analyze   [--model quicknet | --source src] [--format json]
     python -m repro experiments [--appendix|--extensions]
+    python -m repro trace     quicknet_small --out trace.json
+    python -m repro stats     --model quicknet_small
 
 ``--engine`` switches benchmark/profile from the analytical device model to
 *measured* wall-clock through :class:`repro.runtime.Engine` (compiled
@@ -29,6 +31,7 @@ from repro.converter import convert
 from repro.graph.serialization import save_model
 from repro.hw.device import DeviceModel
 from repro.hw.latency import graph_latency
+from repro.obs import format_snapshot
 from repro.profiling import (
     memory_profile,
     profile_engine,
@@ -103,6 +106,7 @@ def _benchmark_engine(args, model) -> int:
         elapsed = time.perf_counter() - start
         stats = engine.stats()
         memory = memory_profile(engine)
+        snapshot = engine.metrics_snapshot()
 
     per_batch_ms = elapsed / args.repeats * 1e3
     print(
@@ -118,6 +122,8 @@ def _benchmark_engine(args, model) -> int:
         f"verified: {str(stats.verified).lower()}"
     )
     print("  " + memory.describe())
+    print("  metrics snapshot:")
+    print(format_snapshot(snapshot, indent="    "))
     return 0
 
 
@@ -305,6 +311,67 @@ def cmd_analyze(args) -> int:
     return 1 if errors else 0
 
 
+def cmd_trace(args) -> int:
+    """Record a traced engine run and export Chrome ``trace_event`` JSON."""
+    from repro.obs import (
+        Tracer,
+        flamegraph_lines,
+        validate_chrome_trace,
+        write_chrome_trace,
+    )
+    from repro.runtime import Engine
+
+    if args.model_pos is not None:
+        args.model = args.model_pos
+    model = _build_converted(args)
+    tracer = Tracer()
+    with Engine(
+        model,
+        num_threads=args.threads,
+        max_batch_size=args.batch,
+        trace=tracer,
+    ) as engine:
+        x = _engine_input(engine.graph, args.batch)
+        for _ in range(args.repeats):
+            engine.run(x)
+    obj = write_chrome_trace(tracer, args.out)
+    problems = validate_chrome_trace(obj)
+    if problems:
+        for p in problems:
+            print(f"trace: {p}", file=sys.stderr)
+        return 1
+    spans = tracer.spans()
+    print(
+        f"wrote {args.out}: {len(obj['traceEvents'])} events from "
+        f"{len(spans)} spans ({tracer.dropped} dropped) — open in "
+        f"chrome://tracing or https://ui.perfetto.dev"
+    )
+    for line in flamegraph_lines(spans):
+        print(line)
+    return 0
+
+
+def cmd_stats(args) -> int:
+    """Exercise an engine and print the unified metrics registry."""
+    from repro.runtime import Engine
+
+    if args.model_pos is not None:
+        args.model = args.model_pos
+    model = _build_converted(args)
+    with Engine(
+        model, num_threads=args.threads, max_batch_size=args.batch
+    ) as engine:
+        x = _engine_input(engine.graph, 1)
+        for _ in range(args.repeats):
+            engine.run(x)
+        # A coalesced run_many so the batch-size histogram has content.
+        engine.run_many([x, x, x])
+        snapshot = engine.metrics_snapshot()
+    print(f"{args.model}: unified metrics registry")
+    print(format_snapshot(snapshot, indent="  "))
+    return 0
+
+
 def cmd_experiments(args) -> int:
     from repro.experiments import runner
 
@@ -396,6 +463,40 @@ def build_parser() -> argparse.ArgumentParser:
         help="report format",
     )
     p.set_defaults(fn=cmd_analyze)
+
+    p = sub.add_parser(
+        "trace",
+        help="record a traced engine run and export Chrome trace_event JSON",
+    )
+    p.add_argument(
+        "model_pos", nargs="?", default=None, choices=sorted(MODEL_REGISTRY),
+        metavar="model", help="zoo model (positional alternative to --model)",
+    )
+    _add_model_arg(p)
+    p.add_argument("--threads", type=int, default=1)
+    p.add_argument("--batch", type=int, default=1)
+    p.add_argument(
+        "--repeats", type=int, default=1, help="traced engine runs to record"
+    )
+    p.add_argument(
+        "--out", default="trace.json", help="Chrome trace_event output path"
+    )
+    p.set_defaults(fn=cmd_trace)
+
+    p = sub.add_parser(
+        "stats", help="print the unified runtime metrics registry for a model"
+    )
+    p.add_argument(
+        "model_pos", nargs="?", default=None, choices=sorted(MODEL_REGISTRY),
+        metavar="model", help="zoo model (positional alternative to --model)",
+    )
+    _add_model_arg(p)
+    p.add_argument("--threads", type=int, default=1)
+    p.add_argument("--batch", type=int, default=4)
+    p.add_argument(
+        "--repeats", type=int, default=2, help="engine runs before the snapshot"
+    )
+    p.set_defaults(fn=cmd_stats)
 
     p = sub.add_parser("experiments", help="regenerate the paper's tables/figures")
     p.add_argument("--appendix", action="store_true")

@@ -22,11 +22,13 @@ where ``K`` is the true depth (number of +/-1 operands per dot product) and
 
 from __future__ import annotations
 
+import time
 from typing import TYPE_CHECKING
 
 import numpy as np
 
 from repro.core.bitpack import popcount
+from repro.obs.trace import active_tracer
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.core.workspace import Workspace
@@ -156,6 +158,11 @@ def bgemm_blocked(
     m = a.shape[0]
     n = b.shape[0]
     out = _check_out(out, m, n)
+    # Ambient tracing: an enabled tracer (installed by an enclosing span,
+    # e.g. plan.node) gets one pre-measured kernel.bgemm record per call;
+    # disabled cost is one thread-local read and two branches.
+    tracer = active_tracer()
+    t0 = time.perf_counter() if tracer.enabled else 0.0
     for i0 in range(0, m, tile_m):
         a_panel = a[i0 : i0 + tile_m]
         for j0 in range(0, n, tile_n):
@@ -167,4 +174,15 @@ def bgemm_blocked(
                 workspace,
                 prefix,
             )
+    if tracer.enabled:
+        tracer.record(
+            "kernel.bgemm",
+            t0,
+            time.perf_counter() - t0,
+            m=m,
+            n=n,
+            words=int(a.shape[1]),
+            depth=depth,
+            threads=1,
+        )
     return out

@@ -18,6 +18,7 @@ import numpy as np
 
 from repro.core.bitpack import PackedTensor
 from repro.core.types import Padding
+from repro.obs.metrics import global_registry
 
 
 @dataclass(frozen=True)
@@ -207,3 +208,45 @@ def padded_tap_mask(
     mask = outside_h | outside_w
     mask.setflags(write=False)
     return mask
+
+
+# ------------------------------------------------- geometry cache stats
+#: the memoized geometry functions, as one resettable unit
+_GEOMETRY_CACHES = (conv_geometry, gather_indices, padded_tap_mask)
+
+
+@dataclass(frozen=True)
+class GeometryCacheStats:
+    """Aggregated hit/miss/entry totals of the geometry memo caches."""
+
+    hits: int
+    misses: int
+    entries: int
+
+
+def geometry_cache_stats() -> GeometryCacheStats:
+    """Totals across :func:`conv_geometry`, :func:`gather_indices` and
+    :func:`padded_tap_mask` (each an ``lru_cache``; counters are
+    maintained under the cache's own internal lock)."""
+    infos = [fn.cache_info() for fn in _GEOMETRY_CACHES]
+    return GeometryCacheStats(
+        hits=sum(i.hits for i in infos),
+        misses=sum(i.misses for i in infos),
+        entries=sum(i.currsize for i in infos),
+    )
+
+
+def geometry_cache_clear() -> None:
+    """Reset the geometry caches and their counters (tests/benchmarks)."""
+    for fn in _GEOMETRY_CACHES:
+        fn.cache_clear()
+
+
+def _register_metrics() -> None:
+    reg = global_registry()
+    reg.gauge("convgeom.hits", lambda: geometry_cache_stats().hits)
+    reg.gauge("convgeom.misses", lambda: geometry_cache_stats().misses)
+    reg.gauge("convgeom.entries", lambda: geometry_cache_stats().entries)
+
+
+_register_metrics()

@@ -19,6 +19,7 @@ never takes the cache lock.
 from __future__ import annotations
 
 import threading
+import time
 from dataclasses import dataclass
 
 import numpy as np
@@ -32,6 +33,8 @@ from repro.core.im2col import (
 )
 from repro.core.types import Padding
 from repro.core.workspace import Workspace
+from repro.obs.metrics import global_registry
+from repro.obs.trace import active_tracer
 
 
 @dataclass(frozen=True)
@@ -131,11 +134,18 @@ def get_indirection(
     """The memoized :class:`Indirection` for a static geometry key."""
     global _HITS, _MISSES
     key = (in_h, in_w, kernel_h, kernel_w, stride, dilation, padding)
+    tracer = active_tracer()
+    t0 = time.perf_counter() if tracer.enabled else 0.0
     with _LOCK:
         ind = _CACHE.get(key)
         if ind is not None:
             _HITS += 1
-            return ind
+    if ind is not None:
+        if tracer.enabled:
+            tracer.record(
+                "indirection.lookup", t0, time.perf_counter() - t0, hit=True
+            )
+        return ind
     built = _build(*key)
     with _LOCK:
         # Lost race: keep the first entry so every caller shares one array.
@@ -145,7 +155,12 @@ def get_indirection(
             ind = _CACHE[key] = built
         else:
             _HITS += 1
-        return ind
+            built = ind
+    if tracer.enabled:
+        tracer.record(
+            "indirection.lookup", t0, time.perf_counter() - t0, hit=False
+        )
+    return built
 
 
 @dataclass(frozen=True)
@@ -168,12 +183,29 @@ def indirection_cache_stats() -> IndirectionCacheStats:
 
 
 def indirection_cache_clear() -> None:
-    """Drop every cached indirection (tests)."""
+    """Drop every cached indirection and reset its counters (tests)."""
     global _HITS, _MISSES
     with _LOCK:
         _CACHE.clear()
         _HITS = 0
         _MISSES = 0
+
+
+def _register_metrics() -> None:
+    """Expose the module cache through the global metrics registry.
+
+    Callback gauges read :func:`indirection_cache_stats` (all fields
+    under the module lock), so ``repro.cli stats`` and snapshot blocks
+    see live values; :func:`indirection_cache_clear` is the reset.
+    """
+    reg = global_registry()
+    reg.gauge("indirection.entries", lambda: indirection_cache_stats().entries)
+    reg.gauge("indirection.hits", lambda: indirection_cache_stats().hits)
+    reg.gauge("indirection.misses", lambda: indirection_cache_stats().misses)
+    reg.gauge("indirection.bytes", lambda: indirection_cache_stats().nbytes)
+
+
+_register_metrics()
 
 
 def im2col_indirect(

@@ -17,6 +17,7 @@ dict — no locking, no reallocation, and disjoint scratch per worker.
 
 from __future__ import annotations
 
+import time
 from concurrent.futures import ThreadPoolExecutor
 from typing import TYPE_CHECKING
 
@@ -24,6 +25,7 @@ import numpy as np
 
 from repro.core.bgemm import _TILE_M, _TILE_N, _check_operands, _check_out, _tile_into
 from repro.core.bgemm import bgemm_blocked
+from repro.obs.trace import active_tracer
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.core.workspace import Workspace
@@ -119,6 +121,21 @@ def bgemm_parallel(
                     slot_prefix,
                 )
 
+    # The span covers dispatch + all workers; recorded from the calling
+    # thread (workers have no ambient tracer), threads = scratch slots.
+    tracer = active_tracer()
+    t0 = time.perf_counter() if tracer.enabled else 0.0
     with ThreadPoolExecutor(max_workers=slots) as pool:
         list(pool.map(worker, range(slots)))
+    if tracer.enabled:
+        tracer.record(
+            "kernel.bgemm",
+            t0,
+            time.perf_counter() - t0,
+            m=m,
+            n=n,
+            words=int(a.shape[1]),
+            depth=depth,
+            threads=slots,
+        )
     return out

@@ -32,9 +32,12 @@ from __future__ import annotations
 
 import math
 import threading
+import time
 from typing import Iterable
 
 import numpy as np
+
+from repro.obs.trace import active_tracer
 
 
 class Workspace:
@@ -114,14 +117,25 @@ class WorkspacePool:
 
     def current(self) -> Workspace:
         """This thread's workspace, created (preallocated) on first use."""
+        tracer = active_tracer()
+        t0 = time.perf_counter() if tracer.enabled else 0.0
         ws = getattr(self._local, "ws", None)
-        if ws is None:
+        created = ws is None
+        if created:
             ws = Workspace()
             with self._lock:
                 for name, (size, dtype) in self._reservations.items():
                     ws.reserve(name, size, dtype)
                 self._workspaces.append(ws)
             self._local.ws = ws
+        if tracer.enabled:
+            tracer.record(
+                "workspace.acquire",
+                t0,
+                time.perf_counter() - t0,
+                created=created,
+                nbytes=ws.nbytes,
+            )
         return ws
 
     def workspaces(self) -> tuple[Workspace, ...]:

@@ -19,6 +19,7 @@ import numpy as np
 
 from repro.core.bitpack import PackedTensor
 from repro.graph.ir import Graph
+from repro.obs.trace import NULL_TRACER, Tracer
 from repro.ops import KernelFn, OpContext, check_value, compile_node
 
 Value = Any  # np.ndarray | PackedTensor
@@ -35,12 +36,22 @@ class Executor:
         record_values: keep every intermediate tensor in :attr:`values`
             (for debugging / the profiler); otherwise dead values are freed
             as execution proceeds.
+        tracer: a :class:`~repro.obs.trace.Tracer`; when enabled, each run
+            records an ``executor.run`` span with one nested
+            ``executor.node`` span per node (kernels attach their own
+            sub-spans through the ambient tracer).
     """
 
-    def __init__(self, graph: Graph, record_values: bool = False) -> None:
+    def __init__(
+        self,
+        graph: Graph,
+        record_values: bool = False,
+        tracer: Tracer | None = None,
+    ) -> None:
         graph.validate()
         self.graph = graph
         self.record_values = record_values
+        self.tracer = tracer
         self.values: dict[str, Value] = {}
         #: wall-clock seconds spent per node in the last run.
         self.node_times: dict[str, float] = {}
@@ -75,12 +86,38 @@ class Executor:
             values[name] = value
 
         self.node_times.clear()
+        tracer = self.tracer
+        if tracer is not None and not tracer.enabled:
+            tracer = None
+        run_span = (
+            tracer.span("executor.run", nodes=len(self.graph.nodes))
+            if tracer is not None
+            else NULL_TRACER.span("executor.run")
+        )
+        with run_span:
+            self._run_nodes(values, last_use, tracer)
+        if self.record_values:
+            self.values = values
+        result = tuple(values[t] for t in self.graph.outputs)
+        return result[0] if len(result) == 1 else result
+
+    def _run_nodes(
+        self,
+        values: dict[str, Value],
+        last_use: dict[str, int],
+        tracer: Tracer | None,
+    ) -> None:
         for idx, node in enumerate(self.graph.nodes):
             fn = self._kernels[idx]
             ins = [values[t] for t in node.inputs]
-            start = time.perf_counter()
-            out = fn(ins)
-            self.node_times[node.name] = time.perf_counter() - start
+            if tracer is not None:
+                with tracer.span("executor.node", node=node.name, op=node.op) as sp:
+                    out = fn(ins)
+                self.node_times[node.name] = sp.dur_s
+            else:
+                start = time.perf_counter()
+                out = fn(ins)
+                self.node_times[node.name] = time.perf_counter() - start
             outs = out if isinstance(out, tuple) else (out,)
             for t, v in zip(node.outputs, outs):
                 check_value(v, self.graph.tensors[t], t)
@@ -93,7 +130,3 @@ class Executor:
                         and t in values
                     ):
                         del values[t]
-        if self.record_values:
-            self.values = values
-        result = tuple(values[t] for t in self.graph.outputs)
-        return result[0] if len(result) == 1 else result

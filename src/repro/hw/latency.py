@@ -257,3 +257,25 @@ def graph_latency(
         cost = node_latency(device, node, input_specs, output_specs)
         per_node[node.name] = cost.with_threads(threads)
     return GraphLatency(per_node=per_node)
+
+
+def align_spans(
+    device: DeviceModel, graph: Graph, spans, threads: int = 1
+) -> dict[str, tuple[float, float]]:
+    """Per-node (measured_s, simulated_s) pairs from recorded trace spans.
+
+    The measured side sums the tracer's per-node spans
+    (``plan.node``/``executor.node``, see
+    :func:`repro.obs.export.node_seconds`), so simulated-vs-measured
+    comparisons share the trace's clock discipline; the simulated side is
+    :func:`graph_latency`.  Nodes without a recorded span are omitted.
+    """
+    from repro.obs.export import node_seconds  # local: obs must not need hw
+
+    measured = node_seconds(spans)
+    simulated = graph_latency(device, graph, threads=threads).per_node
+    return {
+        name: (measured[name], simulated[name].total_s)
+        for name in simulated
+        if name in measured
+    }

@@ -1,0 +1,294 @@
+"""Structured spans: a thread-safe tracer for the runtime hot path.
+
+The span taxonomy mirrors the layers a request passes through::
+
+    engine.submit / engine.run / engine.run_many
+      batch.coalesce
+      plan.execute
+        plan.node                  (one per compiled graph node)
+          kernel.bgemm             (XOR-popcount GEMM, per call)
+          workspace.acquire        (thread arena lookup)
+          indirection.lookup       (eager-path geometry cache)
+
+Design points:
+
+- **Per-thread ring buffers.**  Each recording thread appends to its own
+  fixed-capacity ring (no lock on the record path; the tracer-wide lock
+  is taken only when a thread's buffer is first registered and when
+  spans are collected).  A full ring overwrites its oldest record and
+  counts the drop, so tracing a long-running engine is bounded-memory.
+- **Two clocks, one discipline.**  Span intervals are measured with the
+  monotonic ``time.perf_counter`` — the same clock the profiler and the
+  engine's ``busy_s`` use.  A single wall-clock anchor is captured once,
+  at the *recording boundary* (tracer construction), and only the
+  Chrome-trace exporter maps monotonic offsets onto it; nothing on a
+  compiled-plan path ever reads wall-clock time (lint rule L104).
+- **Ambient activation.**  Entering an enabled span installs its tracer
+  as the thread's *active tracer* for the span's dynamic extent, so
+  kernels deep in ``repro.core`` can attach sub-spans without threading
+  a tracer argument through every call: they ask :func:`active_tracer`
+  and check ``.enabled`` — one thread-local read when tracing is off.
+- **A process-wide no-op tracer.**  :data:`NULL_TRACER` answers
+  ``enabled = False``, returns one shared no-op context manager from
+  ``span()`` and allocates nothing, keeping the disabled hot path within
+  the measured overhead budget (see ``tests/test_obs_overhead.py``).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Any, Iterator
+
+#: default per-thread ring capacity (spans); ~100 bytes/record
+DEFAULT_CAPACITY = 65536
+
+
+class SpanRecord:
+    """One finished span: name, interval, thread, ancestry and attributes.
+
+    ``start_s`` is a ``time.perf_counter`` reading; :meth:`Tracer.wall_us`
+    maps it onto the tracer's wall-clock anchor at export time.  ``path``
+    is the tuple of enclosing span names (outermost first), which gives
+    the flamegraph its stacks and tests their nesting oracle.
+    """
+
+    __slots__ = ("name", "start_s", "dur_s", "tid", "path", "args")
+
+    def __init__(
+        self,
+        name: str,
+        start_s: float,
+        dur_s: float,
+        tid: int,
+        path: tuple[str, ...],
+        args: dict[str, Any],
+    ) -> None:
+        self.name = name
+        self.start_s = start_s
+        self.dur_s = dur_s
+        self.tid = tid
+        self.path = path
+        self.args = args
+
+    @property
+    def end_s(self) -> float:
+        return self.start_s + self.dur_s
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"SpanRecord({self.name!r}, start={self.start_s:.6f}, "
+            f"dur={self.dur_s * 1e6:.1f}us, tid={self.tid}, path={self.path})"
+        )
+
+
+class _ThreadBuffer:
+    """One thread's span ring plus its live span-name stack."""
+
+    __slots__ = ("tid", "records", "head", "dropped", "stack", "capacity")
+
+    def __init__(self, tid: int, capacity: int) -> None:
+        self.tid = tid
+        self.capacity = capacity
+        self.records: list[SpanRecord] = []
+        self.head = 0  # next overwrite position once the ring is full
+        self.dropped = 0
+        self.stack: list[str] = []
+
+    def append(self, record: SpanRecord) -> None:
+        if len(self.records) < self.capacity:
+            self.records.append(record)
+        else:
+            self.records[self.head] = record
+            self.head = (self.head + 1) % self.capacity
+            self.dropped += 1
+
+    def ordered(self) -> list[SpanRecord]:
+        if self.dropped == 0:
+            return list(self.records)
+        return self.records[self.head :] + self.records[: self.head]
+
+
+# Thread-local active tracer; spans install their tracer here on entry so
+# core kernels can attach sub-spans without an explicit tracer argument.
+_ACTIVE = threading.local()
+
+
+def active_tracer() -> "Tracer | NullTracer":
+    """The tracer active on this thread (inside an enabled span), or
+    :data:`NULL_TRACER`."""
+    return getattr(_ACTIVE, "tracer", None) or NULL_TRACER
+
+
+class Span:
+    """Context manager for one live span; exposes ``dur_s`` after exit."""
+
+    __slots__ = ("_tracer", "name", "args", "start_s", "dur_s", "_buf", "_prev")
+
+    def __init__(self, tracer: "Tracer", name: str, args: dict[str, Any]) -> None:
+        self._tracer = tracer
+        self.name = name
+        self.args = args
+        self.start_s = 0.0
+        self.dur_s = 0.0
+
+    def __enter__(self) -> "Span":
+        buf = self._tracer._buffer()
+        buf.stack.append(self.name)
+        self._buf = buf
+        self._prev = getattr(_ACTIVE, "tracer", None)
+        _ACTIVE.tracer = self._tracer
+        self.start_s = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        end = time.perf_counter()
+        self.dur_s = end - self.start_s
+        buf = self._buf
+        buf.stack.pop()
+        _ACTIVE.tracer = self._prev
+        buf.append(
+            SpanRecord(
+                self.name, self.start_s, self.dur_s, buf.tid,
+                tuple(buf.stack), self.args,
+            )
+        )
+
+
+class Tracer:
+    """Thread-safe span recorder with per-thread ring buffers."""
+
+    enabled = True
+
+    def __init__(self, capacity: int = DEFAULT_CAPACITY) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self._capacity = capacity
+        self._lock = threading.Lock()
+        self._buffers: list[_ThreadBuffer] = []
+        self._tls = threading.local()
+        # The recording boundary: one wall-clock anchor, captured here and
+        # never on a plan path.  The exporter maps every monotonic span
+        # start onto it; see `wall_us`.
+        self._anchor_perf = time.perf_counter()
+        anchor = time.time()  # repro: allow[L104] recording-boundary anchor
+        self._anchor_wall = anchor
+
+    # ------------------------------------------------------------- recording
+    def _buffer(self) -> _ThreadBuffer:
+        buf = getattr(self._tls, "buf", None)
+        if buf is None:
+            buf = _ThreadBuffer(threading.get_ident(), self._capacity)
+            with self._lock:
+                self._buffers.append(buf)
+            self._tls.buf = buf
+        return buf
+
+    def span(self, name: str, **args: Any) -> Span:
+        """A context manager recording ``name`` around its ``with`` body."""
+        return Span(self, name, args)
+
+    def record(
+        self, name: str, start_s: float, dur_s: float, **args: Any
+    ) -> None:
+        """Record an already-measured interval as a span.
+
+        The caller timed the work itself (with ``time.perf_counter``);
+        the span is attributed to the thread's current stack.  This is
+        the allocation-light form kernels use — no context-manager entry
+        on the hot path, one record object per measured interval.
+        """
+        buf = self._buffer()
+        buf.append(
+            SpanRecord(name, start_s, dur_s, buf.tid, tuple(buf.stack), args)
+        )
+
+    # ------------------------------------------------------------ collection
+    def spans(self) -> list[SpanRecord]:
+        """Every recorded span across all threads, ordered by start time."""
+        with self._lock:
+            buffers = list(self._buffers)
+        records: list[SpanRecord] = []
+        for buf in buffers:
+            records.extend(buf.ordered())
+        records.sort(key=lambda r: r.start_s)
+        return records
+
+    @property
+    def dropped(self) -> int:
+        """Spans lost to ring-buffer overwrites, across all threads."""
+        with self._lock:
+            return sum(buf.dropped for buf in self._buffers)
+
+    def clear(self) -> None:
+        """Drop every recorded span (live span stacks are preserved)."""
+        with self._lock:
+            for buf in self._buffers:
+                buf.records.clear()
+                buf.head = 0
+                buf.dropped = 0
+
+    def wall_us(self, start_s: float) -> float:
+        """Map a monotonic span start onto the wall-clock anchor, in µs."""
+        return (self._anchor_wall + (start_s - self._anchor_perf)) * 1e6
+
+
+class _NullSpan:
+    """The shared no-op span: nothing allocated, nothing recorded."""
+
+    __slots__ = ()
+    dur_s = 0.0
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        return None
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class NullTracer:
+    """The disabled tracer: every operation is a cheap no-op.
+
+    ``span()`` hands back one shared :class:`_NullSpan` instance —
+    no span objects are ever allocated (asserted in tests), so code can
+    use ``with tracer.span(...)`` unconditionally on warm paths while
+    hot loops branch on :attr:`enabled` to skip attribute building too.
+    """
+
+    enabled = False
+
+    def span(self, name: str, **args: Any) -> _NullSpan:
+        return _NULL_SPAN
+
+    def record(self, name: str, start_s: float, dur_s: float, **args: Any) -> None:
+        return None
+
+    def spans(self) -> list[SpanRecord]:
+        return []
+
+    @property
+    def dropped(self) -> int:
+        return 0
+
+    def clear(self) -> None:
+        return None
+
+    def wall_us(self, start_s: float) -> float:
+        return start_s * 1e6
+
+
+#: the process-wide no-op tracer every un-traced code path shares
+NULL_TRACER = NullTracer()
+
+
+def iter_children(
+    spans: list[SpanRecord], parent: SpanRecord
+) -> Iterator[SpanRecord]:
+    """Spans whose recorded path ends in ``parent``'s stack + name."""
+    want = parent.path + (parent.name,)
+    for s in spans:
+        if s.tid == parent.tid and s.path == want:
+            yield s

@@ -10,6 +10,8 @@ from repro.graph.executor import Executor
 from repro.graph.ir import Graph
 from repro.hw.device import DeviceModel
 from repro.hw.latency import LatencyBreakdown, node_latency
+from repro.obs.export import node_seconds
+from repro.obs.trace import Tracer
 from repro.ops import is_binary_op
 
 
@@ -38,6 +40,7 @@ def profile_graph(
     graph: Graph,
     measure: bool = False,
     input_value: np.ndarray | None = None,
+    tracer: Tracer | None = None,
 ) -> list[NodeProfile]:
     """Profile every node of a graph on a device model.
 
@@ -50,12 +53,21 @@ def profile_graph(
             model.
         input_value: input tensor for the measured run; random data with
             the graph's input shape when omitted.
+        tracer: span-backed measured mode (implies ``measure``): the run
+            records ``executor.node`` spans into this tracer, and measured
+            seconds are taken from those spans
+            (:func:`repro.obs.export.node_seconds`) — the same intervals a
+            Chrome-trace export of the tracer shows, so the profile and
+            the trace agree to the microsecond.
     """
     measured: dict[str, float] = {}
-    if measure:
-        ex = Executor(graph)
+    if measure or tracer is not None:
+        ex = Executor(graph, tracer=tracer)
         ex.run(_default_input(graph) if input_value is None else input_value)
-        measured = dict(ex.node_times)
+        if tracer is not None and tracer.enabled:
+            measured = node_seconds(tracer.spans(), names=("executor.node",))
+        else:
+            measured = dict(ex.node_times)
 
     return _profiles(device, graph, measured)
 
@@ -76,7 +88,9 @@ def profile_engine(
     Same report as :func:`profile_graph` with ``measure=True``, but the
     measured times come from one :class:`repro.runtime.Engine` execution —
     i.e. the compiled-plan path, including its intra-op threading — rather
-    than the reference interpreter.
+    than the reference interpreter.  When the engine carries an enabled
+    tracer, its per-node times are the ``plan.node`` span durations, so
+    this profile and a Chrome-trace export of the same run agree exactly.
 
     Args:
         device: simulated device (for the analytical breakdown column).
@@ -116,15 +130,16 @@ def memory_profile(engine) -> MemoryProfile:
     Complements the latency profiles above: the arena bytes are what the
     plan path preallocated to run allocation-free, and the indirection
     cache holds the compile-time im2col plans shared across plans/threads.
+    A view over the unified metrics registry
+    (:meth:`repro.runtime.Engine.metrics_snapshot`): the same gauges back
+    ``repro.cli stats`` and the benchmark JSON snapshot blocks.
     """
-    from repro.core.indirection import indirection_cache_stats
-
-    ind = indirection_cache_stats()
+    snap = engine.metrics_snapshot()
     return MemoryProfile(
-        workspace_bytes=engine.stats().workspace_bytes,
-        indirection_entries=ind.entries,
-        indirection_bytes=ind.nbytes,
-        indirection_hits=ind.hits,
+        workspace_bytes=snap["workspace.bytes_reserved"],
+        indirection_entries=snap["indirection.entries"],
+        indirection_bytes=snap["indirection.bytes"],
+        indirection_hits=snap["indirection.hits"],
     )
 
 

@@ -32,6 +32,8 @@ import numpy as np
 
 from repro.core.bitpack import PackedTensor
 from repro.graph.ir import Graph
+from repro.obs.metrics import MetricsRegistry, global_registry
+from repro.obs.trace import NULL_TRACER, NullTracer, Tracer
 from repro.runtime.plan import CompiledPlan, ParamCache, compile_plan
 
 Value = Any  # np.ndarray | PackedTensor
@@ -133,6 +135,15 @@ class Engine:
     Thread safety: one engine may be shared by any number of threads; plan
     compilation and the weight cache are serialized behind a lock while
     execution itself is stateless and runs concurrently.
+
+    Observability: every counter lives in a per-engine
+    :class:`~repro.obs.metrics.MetricsRegistry` (``engine.metrics``) —
+    :meth:`stats` is a consistent view over it.  Pass ``trace=`` a
+    :class:`~repro.obs.trace.Tracer` (or set ``engine.tracer``) to record
+    ``engine.run``/``engine.submit`` → ``batch.coalesce`` →
+    ``plan.execute`` → ``plan.node`` → kernel spans; the default
+    :data:`~repro.obs.trace.NULL_TRACER` keeps the disabled path within
+    the measured overhead budget.
     """
 
     def __init__(
@@ -140,6 +151,7 @@ class Engine:
         model: Graph | Any,
         num_threads: int = 1,
         max_batch_size: int = 8,
+        trace: Tracer | None = None,
     ) -> None:
         graph = getattr(model, "graph", model)
         if not isinstance(graph, Graph):
@@ -162,16 +174,30 @@ class Engine:
         self._plan_lock = threading.Lock()
         self._plans: dict[int, CompiledPlan] = {}
         self._param_cache = ParamCache()
-        self._plan_hits = 0
-        self._plan_misses = 0
 
-        self._stats_lock = threading.Lock()
-        self._requests = 0
-        self._samples = 0
-        self._batches = 0
-        self._batch_histogram: dict[int, int] = {}
-        self._busy_s = 0.0
-        self._node_time_s: dict[str, float] = {}
+        #: tracer recording this engine's spans; NULL_TRACER when disabled
+        self.tracer: Tracer | NullTracer = trace if trace is not None else NULL_TRACER
+
+        # Every counter is an instrument of the per-engine registry; grouped
+        # updates and `stats()` snapshots share the registry's single lock,
+        # so a snapshot can never observe a half-counted batch.
+        self.metrics = MetricsRegistry()
+        m = self.metrics
+        self._m_requests = m.counter("engine.requests")
+        self._m_samples = m.counter("engine.samples")
+        self._m_batches = m.counter("engine.batches")
+        self._m_batch_size = m.histogram("engine.batch_size")
+        self._m_busy_s = m.counter("engine.busy_s")
+        self._m_plan_hits = m.counter("plancache.hits")
+        self._m_plan_misses = m.counter("plancache.misses")
+        m.gauge("bgemm.threads").set(num_threads)
+        # Views over subsystems with their own locks: evaluated at snapshot
+        # time, outside the registry lock (see MetricsRegistry.snapshot).
+        m.gauge("paramcache.hits", lambda: self._param_cache_view("hits"))
+        m.gauge("paramcache.misses", lambda: self._param_cache_view("misses"))
+        m.gauge("workspace.bytes_reserved", self._workspace_bytes_view)
+        m.gauge("engine.verified", self._verified_view)
+        self._node_time_s: dict[str, float] = {}  # guarded by metrics lock
         self._last_node_times: dict[str, float] = {}
 
         self._queue: queue.Queue | None = None
@@ -179,13 +205,25 @@ class Engine:
         self._worker_lock = threading.Lock()
         self._closed = False
 
+    def _param_cache_view(self, attr: str) -> int:
+        with self._plan_lock:
+            return getattr(self._param_cache, attr)
+
+    def _workspace_bytes_view(self) -> int:
+        with self._plan_lock:
+            return sum(p.workspace.nbytes for p in self._plans.values())
+
+    def _verified_view(self) -> int:
+        with self._plan_lock:
+            return int(all(p.verified for p in self._plans.values()))
+
     # ------------------------------------------------------------- plumbing
     def plan(self, batch_factor: int = 1) -> CompiledPlan:
         """The cached :class:`CompiledPlan` for ``batch_factor``."""
         with self._plan_lock:
             plan = self._plans.get(batch_factor)
             if plan is None:
-                self._plan_misses += 1
+                self._m_plan_misses.inc()
                 plan = compile_plan(
                     self.graph,
                     batch_factor=batch_factor,
@@ -194,7 +232,7 @@ class Engine:
                 )
                 self._plans[batch_factor] = plan
             else:
-                self._plan_hits += 1
+                self._m_plan_hits.inc()
             return plan
 
     def _normalize_request(self, inputs: Sequence[Value]) -> Request:
@@ -229,16 +267,20 @@ class Engine:
 
     def _execute(self, plan: CompiledPlan, inputs: Request) -> tuple[Value, ...]:
         node_times: dict[str, float] = {}
+        tracer = self.tracer
         start = time.perf_counter()
-        outputs = plan.execute(inputs, node_times)
+        outputs = plan.execute(
+            inputs, node_times, tracer=tracer if tracer.enabled else None
+        )
         elapsed = time.perf_counter() - start
-        with self._stats_lock:
-            self._batches += 1
-            self._samples += plan.batch_factor
-            self._batch_histogram[plan.batch_factor] = (
-                self._batch_histogram.get(plan.batch_factor, 0) + 1
-            )
-            self._busy_s += elapsed
+        # One lock hold per batch: the batch count, its samples, its
+        # histogram bucket and its busy time land atomically, so stats()
+        # snapshots always satisfy sum(histogram) == batches.
+        with self.metrics.lock():
+            self._m_batches.inc()
+            self._m_samples.add(plan.batch_factor)
+            self._m_batch_size.observe(plan.batch_factor)
+            self._m_busy_s.add(elapsed)
             for name, t in node_times.items():
                 self._node_time_s[name] = self._node_time_s.get(name, 0.0) + t
             self._last_node_times = node_times
@@ -258,8 +300,11 @@ class Engine:
         """
         request = self._normalize_request(inputs)
         factor = self._batch_factor(request)
-        with self._stats_lock:
-            self._requests += 1
+        self._m_requests.inc()
+        tracer = self.tracer
+        if tracer.enabled:
+            with tracer.span("engine.run", batch_factor=factor):
+                return self._unwrap(self._execute(self.plan(factor), request))
         return self._unwrap(self._execute(self.plan(factor), request))
 
     def run_many(self, requests: Sequence[Value | Sequence[Value]]) -> list[Result]:
@@ -282,11 +327,17 @@ class Engine:
             request = self._normalize_request(req)
             normalized.append(request)
             factors.append(self._batch_factor(request))
-        with self._stats_lock:
-            self._requests += len(normalized)
+        self._m_requests.add(len(normalized))
 
+        tracer = self.tracer
+        if tracer.enabled:
+            with tracer.span("engine.run_many", requests=len(normalized)):
+                return self._run_coalesced(list(zip(normalized, factors)))
+        return self._run_coalesced(list(zip(normalized, factors)))
+
+    def _run_coalesced(self, items: list[tuple[Request, int]]) -> list[Result]:
         results: list[Result] = []
-        for chunk in self._coalesce(list(zip(normalized, factors))):
+        for chunk in self._coalesce(items):
             results.extend(self._run_chunk(chunk))
         return results
 
@@ -298,6 +349,17 @@ class Engine:
         A single request larger than ``max_batch_size`` runs alone; the
         ragged tail forms a final, smaller micro-batch.
         """
+        tracer = self.tracer
+        if tracer.enabled:
+            with tracer.span("batch.coalesce", requests=len(items)) as sp:
+                chunks = self._coalesce_inner(items)
+                sp.args["chunks"] = len(chunks)
+                return chunks
+        return self._coalesce_inner(items)
+
+    def _coalesce_inner(
+        self, items: list[tuple[Request, int]]
+    ) -> list[list[tuple[Request, int]]]:
         chunks: list[list[tuple[Request, int]]] = []
         current: list[tuple[Request, int]] = []
         current_size = 0
@@ -344,8 +406,7 @@ class Engine:
             raise RuntimeError("engine is closed")
         request = self._normalize_request(inputs)
         factor = self._batch_factor(request)
-        with self._stats_lock:
-            self._requests += 1
+        self._m_requests.inc()
         future: Future = Future()
         self._ensure_worker()
         assert self._queue is not None
@@ -381,20 +442,29 @@ class Engine:
                     break
                 pending.append(nxt)
                 size += nxt[1]
-            chunks = self._coalesce([(req, f) for req, f, _ in pending])
-            futures = [fut for _, _, fut in pending]
-            done = 0
-            for chunk in chunks:
-                chunk_futures = futures[done : done + len(chunk)]
-                done += len(chunk)
-                try:
-                    results = self._run_chunk(chunk)
-                except BaseException as exc:  # propagate to all waiters
-                    for fut in chunk_futures:
-                        fut.set_exception(exc)
-                else:
-                    for fut, result in zip(chunk_futures, results):
-                        fut.set_result(result)
+            tracer = self.tracer
+            if tracer.enabled:
+                with tracer.span("engine.submit", requests=len(pending), size=size):
+                    self._drain_pending(pending)
+            else:
+                self._drain_pending(pending)
+
+    def _drain_pending(self, pending: list[tuple[Request, int, Future]]) -> None:
+        """Coalesce and run one drained batch of queued submissions."""
+        chunks = self._coalesce([(req, f) for req, f, _ in pending])
+        futures = [fut for _, _, fut in pending]
+        done = 0
+        for chunk in chunks:
+            chunk_futures = futures[done : done + len(chunk)]
+            done += len(chunk)
+            try:
+                results = self._run_chunk(chunk)
+            except BaseException as exc:  # propagate to all waiters
+                for fut in chunk_futures:
+                    fut.set_exception(exc)
+            else:
+                for fut, result in zip(chunk_futures, results):
+                    fut.set_result(result)
 
     def close(self) -> None:
         """Stop the batching worker; idempotent.  ``run`` stays usable."""
@@ -417,29 +487,47 @@ class Engine:
     @property
     def last_node_times(self) -> dict[str, float]:
         """Per-node wall-clock seconds of the most recent plan execution."""
-        with self._stats_lock:
+        with self.metrics.lock():
             return dict(self._last_node_times)
 
     def stats(self) -> EngineStats:
-        """A consistent snapshot of the engine's counters."""
-        with self._plan_lock:
-            plan_hits, plan_misses = self._plan_hits, self._plan_misses
-            param_hits = self._param_cache.hits
-            param_misses = self._param_cache.misses
-            workspace_bytes = sum(p.workspace.nbytes for p in self._plans.values())
-            verified = all(p.verified for p in self._plans.values())
-        with self._stats_lock:
-            return EngineStats(
-                requests=self._requests,
-                samples=self._samples,
-                batches=self._batches,
-                batch_histogram=dict(self._batch_histogram),
-                plan_cache_hits=plan_hits,
-                plan_cache_misses=plan_misses,
-                param_cache_hits=param_hits,
-                param_cache_misses=param_misses,
-                busy_s=self._busy_s,
-                workspace_bytes=workspace_bytes,
-                verified=verified,
-                node_time_s=dict(self._node_time_s),
-            )
+        """A consistent snapshot of the engine's counters.
+
+        A view over ``engine.metrics``: the native counters (requests,
+        samples, batches, histogram, busy time, plan-cache hits/misses)
+        are read under one registry-lock hold, so the returned fields are
+        mutually consistent however many threads are submitting.
+        """
+        # snapshot() reads the native instruments under one lock hold (the
+        # consistency guarantee); the registry lock must NOT be held around
+        # it, because callback gauges take the plan lock and plan() takes
+        # the locks in the opposite order.
+        snap = self.metrics.snapshot()
+        with self.metrics.lock():
+            node_time_s = dict(self._node_time_s)
+        hist = snap["engine.batch_size"]
+        return EngineStats(
+            requests=snap["engine.requests"],
+            samples=snap["engine.samples"],
+            batches=snap["engine.batches"],
+            batch_histogram={int(k): v for k, v in hist["counts"].items()},
+            plan_cache_hits=snap["plancache.hits"],
+            plan_cache_misses=snap["plancache.misses"],
+            param_cache_hits=snap["paramcache.hits"],
+            param_cache_misses=snap["paramcache.misses"],
+            busy_s=snap["engine.busy_s"],
+            workspace_bytes=snap["workspace.bytes_reserved"],
+            verified=bool(snap["engine.verified"]),
+            node_time_s=node_time_s,
+        )
+
+    def metrics_snapshot(self) -> dict[str, Any]:
+        """Engine metrics plus the process-wide cache views, one dict.
+
+        The union of this engine's registry and the global registry
+        (``indirection.*``, ``convgeom.*`` module-cache gauges); this is
+        what ``repro.cli stats`` prints and what benchmark JSON embeds.
+        """
+        snap = global_registry().snapshot()
+        snap.update(self.metrics.snapshot())
+        return snap

@@ -30,7 +30,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Sequence
+from typing import TYPE_CHECKING, Sequence
 
 import numpy as np
 
@@ -47,6 +47,9 @@ from repro.ops import (
     get_spec,
 )
 from repro.runtime.rebatch import rebatched_specs
+
+if TYPE_CHECKING:  # pragma: no cover - import only for type checkers
+    from repro.obs.trace import Tracer
 
 #: historical name — plan contexts are plain :class:`repro.ops.OpContext`
 PlanContext = OpContext
@@ -115,6 +118,7 @@ class CompiledPlan:
         self,
         inputs: Sequence[Value],
         node_times: dict[str, float] | None = None,
+        tracer: Tracer | None = None,
     ) -> tuple[Value, ...]:
         """Run the plan; always returns a tuple of output values.
 
@@ -122,6 +126,11 @@ class CompiledPlan:
             inputs: one value per graph input, already batched to this
                 plan's batch factor.
             node_times: when given, filled with wall-clock seconds per node.
+            tracer: when given (and enabled), the run records a
+                ``plan.execute`` span with one nested ``plan.node`` span per
+                node; kernels deep in :mod:`repro.core` attach their own
+                sub-spans through the ambient
+                :func:`repro.obs.trace.active_tracer`.
         """
         if len(inputs) != len(self.input_slots):
             raise ValueError(
@@ -139,19 +148,42 @@ class CompiledPlan:
                 value = np.asarray(value, dtype=spec.dtype)
             check_value(value, spec, self.slot_names[slot])
             slots[slot] = value
+        if tracer is not None and tracer.enabled:
+            with tracer.span(
+                "plan.execute",
+                batch_factor=self.batch_factor,
+                num_threads=self.num_threads,
+                nodes=len(self.nodes),
+            ):
+                self._run_nodes(slots, node_times, tracer)
+        else:
+            self._run_nodes(slots, node_times, None)
+        return tuple(slots[s] for s in self.output_slots)
+
+    def _run_nodes(
+        self,
+        slots: list[Value],
+        node_times: dict[str, float] | None,
+        tracer: Tracer | None,
+    ) -> None:
         for cn in self.nodes:
             ins = [slots[s] for s in cn.input_slots]
-            start = time.perf_counter()
-            out = cn.fn(ins)
-            if node_times is not None:
-                node_times[cn.name] = time.perf_counter() - start
+            if tracer is not None:
+                with tracer.span("plan.node", node=cn.name, op=cn.op) as sp:
+                    out = cn.fn(ins)
+                if node_times is not None:
+                    node_times[cn.name] = sp.dur_s
+            else:
+                start = time.perf_counter()
+                out = cn.fn(ins)
+                if node_times is not None:
+                    node_times[cn.name] = time.perf_counter() - start
             outs = out if isinstance(out, tuple) else (out,)
             for slot, v in zip(cn.output_slots, outs):
                 check_value(v, self.slot_specs[slot], self.slot_names[slot])
                 slots[slot] = v
             for s in cn.frees:
                 slots[s] = None
-        return tuple(slots[s] for s in self.output_slots)
 
 
 def compile_plan(

@@ -1,0 +1,275 @@
+"""Unit tests for the unified metrics registry (`repro.obs.metrics`).
+
+Covers the instrument types, registry semantics (get-or-create, type
+clashes, snapshot/reset), the module-cache views on the global registry,
+and — the regression this layer exists for — EngineStats snapshot
+consistency under concurrent submission.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.core.im2col import conv_geometry, geometry_cache_clear, geometry_cache_stats
+from repro.core.indirection import (
+    get_indirection,
+    indirection_cache_clear,
+    indirection_cache_stats,
+)
+from repro.core.types import Padding
+from repro.graph.builder import GraphBuilder
+from repro.obs.metrics import (
+    Counter,
+    MetricsRegistry,
+    format_snapshot,
+    global_registry,
+)
+from repro.runtime import Engine
+
+
+class TestInstruments:
+    def test_counter(self):
+        reg = MetricsRegistry()
+        c = reg.counter("c")
+        c.inc()
+        c.add(2.5)
+        assert c.value == 3.5
+        with pytest.raises(ValueError, match="negative"):
+            c.add(-1)
+
+    def test_settable_gauge(self):
+        g = MetricsRegistry().gauge("g")
+        assert g.value == 0 and not g.is_callback
+        g.set(7)
+        assert g.value == 7
+
+    def test_callback_gauge(self):
+        state = {"v": 41}
+        g = MetricsRegistry().gauge("g", lambda: state["v"])
+        assert g.is_callback
+        state["v"] = 42
+        assert g.value == 42
+        with pytest.raises(ValueError, match="callback"):
+            g.set(0)
+
+    def test_callback_gauge_reregistration(self):
+        reg = MetricsRegistry()
+        fn = lambda: 1  # noqa: E731
+        assert reg.gauge("g", fn) is reg.gauge("g", fn)  # same fn: fine
+        with pytest.raises(ValueError, match="already registered"):
+            reg.gauge("g", lambda: 2)
+
+    def test_histogram(self):
+        h = MetricsRegistry().histogram("h")
+        for v in (1, 4, 4, 8):
+            h.observe(v)
+        assert h.count == 4
+        assert h.mean == pytest.approx(17 / 4)
+        assert h.counts() == {1: 1, 4: 2, 8: 1}
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_instrument(self):
+        reg = MetricsRegistry()
+        assert reg.counter("x") is reg.counter("x")
+        assert isinstance(reg.get("x"), Counter)
+        assert reg.get("missing") is None
+
+    def test_type_clash_rejected(self):
+        reg = MetricsRegistry()
+        reg.counter("x")
+        with pytest.raises(ValueError, match="Counter"):
+            reg.gauge("x")
+        with pytest.raises(ValueError, match="Counter"):
+            reg.histogram("x")
+
+    def test_names_sorted(self):
+        reg = MetricsRegistry()
+        reg.counter("b")
+        reg.gauge("a")
+        assert reg.names() == ("a", "b")
+
+    def test_snapshot_shape(self):
+        reg = MetricsRegistry()
+        reg.counter("c").add(3)
+        reg.gauge("g").set(1.5)
+        reg.gauge("cb", lambda: 9)
+        reg.histogram("h").observe(2)
+        snap = reg.snapshot()
+        assert snap["c"] == 3 and snap["g"] == 1.5 and snap["cb"] == 9
+        assert snap["h"] == {
+            "count": 1, "total": 2, "min": 2, "max": 2, "counts": {2: 1},
+        }
+
+    def test_reset_zeroes_natives_keeps_callbacks(self):
+        reg = MetricsRegistry()
+        reg.counter("c").add(3)
+        reg.gauge("g").set(4)
+        reg.histogram("h").observe(5)
+        reg.gauge("cb", lambda: 6)
+        reg.reset()
+        snap = reg.snapshot()
+        assert snap["c"] == 0 and snap["g"] == 0
+        assert snap["h"]["count"] == 0 and snap["h"]["counts"] == {}
+        assert snap["cb"] == 6  # callback view: reset the subsystem instead
+
+    def test_grouped_updates_are_atomic(self):
+        """Updates under ``with registry.lock():`` land in one snapshot."""
+        reg = MetricsRegistry()
+        c = reg.counter("batches")
+        h = reg.histogram("sizes")
+        stop = threading.Event()
+        bad: list[dict] = []
+
+        def writer():
+            while not stop.is_set():
+                with reg.lock():
+                    c.inc()
+                    h.observe(4)
+
+        def reader():
+            for _ in range(300):
+                snap = reg.snapshot()
+                if snap["batches"] != snap["sizes"]["count"]:
+                    bad.append(snap)
+
+        w = threading.Thread(target=writer)
+        w.start()
+        reader()
+        stop.set()
+        w.join()
+        assert not bad, f"snapshot observed a half-counted batch: {bad[0]}"
+
+
+class TestFormatSnapshot:
+    def test_alignment_and_rendering(self):
+        snap = {
+            "long.counter.name": 3,
+            "g": 0.125,
+            "h": {"count": 2, "total": 6, "min": 2, "max": 4,
+                  "counts": {4: 1, 2: 1}},
+        }
+        text = format_snapshot(snap, indent="  ")
+        lines = text.splitlines()
+        assert lines[0].startswith("  g")
+        assert "count=2 mean=3.00 min=2 max=4 counts={2: 1, 4: 1}" in text
+        assert "long.counter.name  3" in text
+
+    def test_empty(self):
+        assert format_snapshot({}) == ""
+
+
+class TestGlobalCacheViews:
+    """Satellite: module caches exposed through the global registry."""
+
+    def test_indirection_gauges_track_cache(self):
+        indirection_cache_clear()
+        snap = global_registry().snapshot()
+        assert snap["indirection.entries"] == 0
+        assert snap["indirection.hits"] == 0 and snap["indirection.misses"] == 0
+
+        get_indirection(6, 6, 3, 3, 1, 1, Padding.SAME_ONE)
+        get_indirection(6, 6, 3, 3, 1, 1, Padding.SAME_ONE)
+        snap = global_registry().snapshot()
+        stats = indirection_cache_stats()
+        assert snap["indirection.entries"] == stats.entries == 1
+        assert snap["indirection.misses"] == stats.misses == 1
+        assert snap["indirection.hits"] == stats.hits >= 1
+        assert snap["indirection.bytes"] == stats.nbytes > 0
+
+        indirection_cache_clear()
+        snap = global_registry().snapshot()
+        assert snap["indirection.entries"] == 0 and snap["indirection.hits"] == 0
+
+    def test_convgeom_gauges_track_lru_caches(self):
+        geometry_cache_clear()
+        assert geometry_cache_stats().entries == 0
+        conv_geometry(8, 8, 3, 3, 1, 1, Padding.SAME_ONE)
+        conv_geometry(8, 8, 3, 3, 1, 1, Padding.SAME_ONE)
+        snap = global_registry().snapshot()
+        assert snap["convgeom.entries"] == 1
+        assert snap["convgeom.misses"] == 1
+        assert snap["convgeom.hits"] == 1
+        geometry_cache_clear()
+        assert global_registry().snapshot()["convgeom.entries"] == 0
+
+
+def _tiny_net(rng):
+    b = GraphBuilder((1, 6, 6, 3))
+    x = b.conv2d(b.input, rng.standard_normal((3, 3, 3, 4)).astype(np.float32))
+    x = b.relu(x)
+    x = b.global_avgpool(x)
+    return b.finish(x)
+
+
+class TestEngineStatsConsistency:
+    """Satellite bugfix: stats() used to read counters without a common
+    lock, so a concurrent reader could observe a batch counted in
+    ``batches`` but missing from the histogram.  Every counter now lives
+    in the engine's registry and snapshots take one lock hold."""
+
+    def test_engine_metrics_present(self, rng):
+        x = rng.standard_normal((1, 6, 6, 3)).astype(np.float32)
+        with Engine(_tiny_net(rng)) as engine:
+            engine.run(x)
+            snap = engine.metrics_snapshot()
+        for name in (
+            "engine.requests", "engine.samples", "engine.batches",
+            "engine.batch_size", "engine.busy_s", "engine.verified",
+            "plancache.hits", "plancache.misses",
+            "paramcache.hits", "paramcache.misses",
+            "workspace.bytes_reserved", "bgemm.threads",
+            "indirection.entries", "convgeom.entries",
+        ):
+            assert name in snap, name
+
+    def test_stats_atomic_under_concurrent_submit(self, rng):
+        x = rng.standard_normal((1, 6, 6, 3)).astype(np.float32)
+        n_threads, per_thread = 4, 25
+        violations: list[str] = []
+        stop = threading.Event()
+
+        with Engine(_tiny_net(rng), max_batch_size=4) as engine:
+
+            def reader():
+                while not stop.is_set():
+                    s = engine.stats()
+                    hist_batches = sum(s.batch_histogram.values())
+                    hist_samples = sum(
+                        k * v for k, v in s.batch_histogram.items()
+                    )
+                    if hist_batches != s.batches:
+                        violations.append(
+                            f"sum(hist)={hist_batches} != batches={s.batches}"
+                        )
+                    if hist_samples != s.samples:
+                        violations.append(
+                            f"hist samples={hist_samples} != {s.samples}"
+                        )
+
+            def submitter():
+                futures = [engine.submit(x) for _ in range(per_thread)]
+                for fut in futures:
+                    fut.result(timeout=30)
+
+            watch = threading.Thread(target=reader)
+            watch.start()
+            workers = [
+                threading.Thread(target=submitter) for _ in range(n_threads)
+            ]
+            for w in workers:
+                w.start()
+            for w in workers:
+                w.join()
+            stop.set()
+            watch.join()
+
+            final = engine.stats()
+        assert not violations, violations[:3]
+        assert final.requests == n_threads * per_thread
+        assert final.samples == n_threads * per_thread
+        assert sum(final.batch_histogram.values()) == final.batches
+        assert final.verified is True

@@ -1,0 +1,310 @@
+"""Unit tests for structured spans and Chrome-trace export.
+
+Nesting semantics, ring-buffer bounds, ambient activation, the shared
+no-op tracer, trace_event schema validation (including seeded
+violations), and the end-to-end contract: a traced QuickNet-small engine
+run exports a valid nested trace with one ``plan.node`` span per graph
+node.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+
+import numpy as np
+import pytest
+
+from repro import cli
+from repro.converter import convert
+from repro.obs.export import (
+    chrome_trace,
+    flamegraph_lines,
+    node_seconds,
+    validate_chrome_trace,
+    write_chrome_trace,
+)
+from repro.obs.trace import (
+    NULL_TRACER,
+    NullTracer,
+    Span,
+    Tracer,
+    active_tracer,
+    iter_children,
+)
+from repro.runtime import Engine
+from repro.zoo import quicknet
+
+
+class TestSpans:
+    def test_nesting_records_paths(self):
+        tracer = Tracer()
+        with tracer.span("outer", kind="test"):
+            with tracer.span("mid"):
+                with tracer.span("inner"):
+                    pass
+            with tracer.span("mid2"):
+                pass
+        spans = {s.name: s for s in tracer.spans()}
+        assert spans["outer"].path == ()
+        assert spans["mid"].path == ("outer",)
+        assert spans["inner"].path == ("outer", "mid")
+        assert spans["mid2"].path == ("outer",)
+        assert spans["outer"].args == {"kind": "test"}
+        # children lie within the parent interval
+        assert spans["outer"].start_s <= spans["mid"].start_s
+        assert spans["mid"].end_s <= spans["outer"].end_s
+
+    def test_spans_sorted_by_start(self):
+        tracer = Tracer()
+        with tracer.span("a"):
+            pass
+        with tracer.span("b"):
+            pass
+        names = [s.name for s in tracer.spans()]
+        assert names == ["a", "b"]
+
+    def test_record_attributes_to_current_stack(self):
+        tracer = Tracer()
+        with tracer.span("parent"):
+            t0 = time.perf_counter()
+            tracer.record("leaf", t0, 1e-6, m=3)
+        leaf = next(s for s in tracer.spans() if s.name == "leaf")
+        assert leaf.path == ("parent",)
+        assert leaf.args == {"m": 3}
+        assert leaf.dur_s == 1e-6
+
+    def test_span_exposes_duration_after_exit(self):
+        tracer = Tracer()
+        with tracer.span("timed") as sp:
+            pass
+        assert isinstance(sp, Span) and sp.dur_s >= 0
+
+    def test_ring_overwrites_oldest_and_counts_drops(self):
+        tracer = Tracer(capacity=4)
+        for i in range(10):
+            with tracer.span(f"s{i}"):
+                pass
+        spans = tracer.spans()
+        assert [s.name for s in spans] == ["s6", "s7", "s8", "s9"]
+        assert tracer.dropped == 6
+
+    def test_capacity_validated(self):
+        with pytest.raises(ValueError, match="capacity"):
+            Tracer(capacity=0)
+
+    def test_clear(self):
+        tracer = Tracer(capacity=2)
+        for i in range(5):
+            with tracer.span(f"s{i}"):
+                pass
+        tracer.clear()
+        assert tracer.spans() == [] and tracer.dropped == 0
+
+    def test_iter_children(self):
+        tracer = Tracer()
+        with tracer.span("root"):
+            with tracer.span("child"):
+                with tracer.span("grandchild"):
+                    pass
+            with tracer.span("child"):
+                pass
+        spans = tracer.spans()
+        root = next(s for s in spans if s.name == "root")
+        kids = list(iter_children(spans, root))
+        assert [s.name for s in kids] == ["child", "child"]
+
+
+class TestAmbientActivation:
+    def test_default_is_null(self):
+        assert active_tracer() is NULL_TRACER
+
+    def test_enabled_span_installs_and_restores(self):
+        tracer = Tracer()
+        with tracer.span("outer"):
+            assert active_tracer() is tracer
+            inner = Tracer()
+            with inner.span("nested"):
+                assert active_tracer() is inner
+            assert active_tracer() is tracer
+        assert active_tracer() is NULL_TRACER
+
+
+class TestNullTracer:
+    def test_shared_singleton_span(self):
+        """The disabled tracer never allocates span objects."""
+        assert isinstance(NULL_TRACER, NullTracer)
+        assert not NULL_TRACER.enabled
+        sp1 = NULL_TRACER.span("a")
+        sp2 = NULL_TRACER.span("b")
+        assert sp1 is sp2  # one process-wide no-op span, reused forever
+        with sp1 as entered:
+            assert entered is sp1
+        assert sp1.dur_s == 0.0
+
+    def test_noop_surface(self):
+        NULL_TRACER.record("x", 0.0, 1.0)
+        assert NULL_TRACER.spans() == []
+        assert NULL_TRACER.dropped == 0
+        NULL_TRACER.clear()
+
+
+class TestChromeExport:
+    def test_schema_and_wall_anchor(self):
+        tracer = Tracer()
+        before_us = time.time() * 1e6
+        with tracer.span("outer", k=1):
+            with tracer.span("inner"):
+                pass
+        obj = chrome_trace(tracer)
+        assert validate_chrome_trace(obj) == []
+        assert obj["displayTimeUnit"] == "ms"
+        xs = [e for e in obj["traceEvents"] if e["ph"] == "X"]
+        ms = [e for e in obj["traceEvents"] if e["ph"] == "M"]
+        assert {e["name"] for e in ms} == {"process_name", "thread_name"}
+        assert {e["name"] for e in xs} == {"outer", "inner"}
+        inner = next(e for e in xs if e["name"] == "inner")
+        assert inner["cat"] == "outer" and inner["args"] == {}
+        # ts is wall-clock microseconds anchored at tracer construction
+        assert abs(inner["ts"] - before_us) < 60e6
+
+    def test_write_round_trips(self, tmp_path):
+        tracer = Tracer()
+        with tracer.span("s"):
+            pass
+        path = tmp_path / "trace.json"
+        obj = write_chrome_trace(tracer, path)
+        assert json.loads(path.read_text()) == json.loads(json.dumps(obj))
+
+    def test_validation_catches_seeded_violations(self):
+        assert validate_chrome_trace([]) != []
+        assert validate_chrome_trace({"events": []}) != []
+        base = {"ph": "X", "ts": 0.0, "dur": 1.0, "pid": 1, "tid": 1, "args": {}}
+        problems = validate_chrome_trace(
+            {"traceEvents": [dict(base)]}  # missing name
+        )
+        assert any("name" in p for p in problems)
+        problems = validate_chrome_trace(
+            {"traceEvents": [dict(base, name="bad", ph="Z")]}
+        )
+        assert any("ph" in p for p in problems)
+        problems = validate_chrome_trace(
+            {"traceEvents": [dict(base, name="neg", dur=-1.0)]}
+        )
+        assert any("negative" in p for p in problems)
+
+    def test_validation_catches_broken_nesting(self):
+        """A child interval escaping its parent is a schema violation."""
+        base = {"ph": "X", "pid": 1, "tid": 7, "args": {}}
+        events = [
+            dict(base, name="parent", ts=0.0, dur=10.0),
+            dict(base, name="escapee", ts=5.0, dur=10.0),  # ends at 15 > 10
+        ]
+        problems = validate_chrome_trace({"traceEvents": events})
+        assert any("escapes" in p for p in problems)
+
+    def test_node_seconds_filters_by_span_name(self):
+        tracer = Tracer()
+        tracer.record("plan.node", 0.0, 0.25, node="conv", op="conv2d")
+        tracer.record("plan.node", 1.0, 0.5, node="conv", op="conv2d")
+        tracer.record("kernel.bgemm", 0.0, 9.0, m=1, n=1)
+        assert node_seconds(tracer.spans()) == {"conv": pytest.approx(0.75)}
+
+    def test_flamegraph_lines(self):
+        tracer = Tracer()
+        with tracer.span("root"):
+            with tracer.span("leaf"):
+                pass
+            with tracer.span("leaf"):
+                pass
+        lines = flamegraph_lines(tracer.spans())
+        assert len(lines) == 2
+        assert lines[0].startswith("root") and "calls=1" in lines[0]
+        assert lines[1].strip().startswith("leaf") and "calls=2" in lines[1]
+
+
+class TestEngineTrace:
+    def test_quicknet_trace_nested_and_complete(self):
+        """ISSUE acceptance: one QuickNet-small run exports a valid trace
+        with nested spans and one ``plan.node`` span per graph node."""
+        model = convert(quicknet("small", input_size=32), in_place=True)
+        tracer = Tracer()
+        rng = np.random.default_rng(0)
+        x = rng.standard_normal((1, 32, 32, 3)).astype(np.float32)
+        with Engine(model, trace=tracer) as engine:
+            engine.run(x)
+
+        spans = tracer.spans()
+        by_name: dict[str, int] = {}
+        for s in spans:
+            by_name[s.name] = by_name.get(s.name, 0) + 1
+        assert by_name["engine.run"] == 1
+        assert by_name["plan.execute"] == 1
+        assert by_name["plan.node"] == len(model.graph.nodes)
+        assert by_name.get("kernel.bgemm", 0) > 0
+        assert by_name.get("workspace.acquire", 0) > 0
+
+        node_spans = [s for s in spans if s.name == "plan.node"]
+        assert {s.args["node"] for s in node_spans} == {
+            n.name for n in model.graph.nodes
+        }
+        # every plan.node is nested under engine.run -> plan.execute
+        assert all(
+            s.path == ("engine.run", "plan.execute") for s in node_spans
+        )
+        # kernel spans sit under their plan.node
+        bgemm = [s for s in spans if s.name == "kernel.bgemm"]
+        assert all(s.path[:2] == ("engine.run", "plan.execute") for s in bgemm)
+        assert all(s.path[2] == "plan.node" for s in bgemm)
+
+        obj = chrome_trace(tracer)
+        assert validate_chrome_trace(obj) == []
+        measured = node_seconds(spans)
+        assert set(measured) == {n.name for n in model.graph.nodes}
+
+    def test_run_many_and_submit_span_shapes(self, rng):
+        model = convert(quicknet("small", input_size=32), in_place=True)
+        tracer = Tracer()
+        x = rng.standard_normal((1, 32, 32, 3)).astype(np.float32)
+        with Engine(model, trace=tracer, max_batch_size=2) as engine:
+            engine.run_many([x, x, x])
+            engine.submit(x).result(timeout=30)
+        names = {s.name for s in tracer.spans()}
+        assert "engine.run_many" in names
+        assert "batch.coalesce" in names
+        assert "engine.submit" in names
+        coalesce = next(
+            s for s in tracer.spans() if s.name == "batch.coalesce"
+        )
+        assert coalesce.args["requests"] == 3 and coalesce.args["chunks"] == 2
+        assert validate_chrome_trace(chrome_trace(tracer)) == []
+
+
+class TestCli:
+    def test_trace_command(self, tmp_path, capsys):
+        out = tmp_path / "trace.json"
+        rc = cli.main(
+            ["trace", "quicknet_small", "--input-size", "32",
+             "--batch", "2", "--out", str(out)]
+        )
+        stdout = capsys.readouterr().out
+        assert rc == 0
+        assert "perfetto" in stdout and "engine.run" in stdout
+        obj = json.loads(out.read_text())
+        assert validate_chrome_trace(obj) == []
+        assert any(
+            e["name"] == "plan.node" for e in obj["traceEvents"]
+        )
+
+    def test_stats_command(self, capsys):
+        rc = cli.main(
+            ["stats", "--model", "quicknet_small", "--input-size", "32",
+             "--batch", "2", "--repeats", "1"]
+        )
+        stdout = capsys.readouterr().out
+        assert rc == 0
+        assert "unified metrics registry" in stdout
+        assert "engine.requests" in stdout
+        assert "engine.batch_size" in stdout
+        assert "indirection.entries" in stdout
+        assert "paramcache.hits" in stdout

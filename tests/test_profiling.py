@@ -45,6 +45,43 @@ class TestProfileGraph:
         profiles, _ = quicknet_profiles
         assert all(p.measured_s is None for p in profiles)
 
+    def test_tracer_backed_measured_mode(self):
+        """With a tracer, measured times come from ``executor.node``
+        spans — the profile and a trace export of the run agree."""
+        from repro.obs.export import node_seconds
+        from repro.obs.trace import Tracer
+
+        model = convert(quicknet("small", input_size=32), in_place=True)
+        tracer = Tracer()
+        profiles = profile_graph(
+            DeviceModel.pixel1(), model.graph, tracer=tracer
+        )
+        assert all(p.measured_s is not None for p in profiles)
+        measured = node_seconds(tracer.spans(), names=("executor.node",))
+        for p in profiles:
+            assert p.measured_s == measured[p.name]
+
+    def test_align_spans_joins_measured_and_simulated(self):
+        from repro.hw.latency import align_spans
+        from repro.obs.trace import Tracer
+        from repro.runtime import Engine
+
+        import numpy as np
+
+        model = convert(quicknet("small", input_size=32), in_place=True)
+        tracer = Tracer()
+        x = np.random.default_rng(0).standard_normal(
+            (1, 32, 32, 3)
+        ).astype(np.float32)
+        with Engine(model, trace=tracer) as engine:
+            engine.run(x)
+        pairs = align_spans(
+            DeviceModel.pixel1(), model.graph, tracer.spans()
+        )
+        assert set(pairs) == {n.name for n in model.graph.nodes}
+        for measured_s, simulated_s in pairs.values():
+            assert measured_s >= 0 and simulated_s > 0
+
 
 class TestAggregations:
     def test_op_class_shares_sum_to_100(self, quicknet_profiles):
