@@ -1,6 +1,6 @@
 # Convenience targets for the LCE reproduction.
 
-.PHONY: test test-fast test-slow lint analyze check trace-smoke bench bench-fast experiments appendix extensions examples all
+.PHONY: test test-fast test-slow test-serving lint analyze check trace-smoke serve-smoke bench bench-fast bench-serving experiments appendix extensions examples all
 
 test:
 	pytest tests/
@@ -15,7 +15,7 @@ lint:
 analyze:
 	PYTHONPATH=src python -m repro.cli analyze
 
-check: lint analyze test-fast trace-smoke
+check: lint analyze test-fast test-serving trace-smoke serve-smoke
 
 # End-to-end observability smoke: trace a QuickNet-small engine run,
 # schema-validate the Chrome-trace export, and print the unified metrics
@@ -26,13 +26,28 @@ trace-smoke:
 	PYTHONPATH=src python -m repro.cli stats --model quicknet_small \
 		--input-size 32 --batch 2 --repeats 1
 
-# Skip the opt-in slow grids and the benchmark suite entirely.
+# Skip the opt-in slow grids, the threaded serving suites and the
+# benchmark suite entirely.
 test-fast:
-	pytest tests/ -m "not slow"
+	pytest tests/ -m "not slow and not serving"
 
 # Only the expensive cells: full zoo parity grid, long stress runs.
 test-slow:
 	pytest tests/ -m slow
+
+# The gateway smoke tier (a few seconds): deterministic FakeClock
+# deadline/fault/conservation tests, minus the multi-seed stress cells.
+test-serving:
+	pytest tests/ -m "serving and not slow"
+
+# End-to-end serving smoke: a short loadgen sweep through the gateway,
+# schema-validating BENCH_serving.json and the exported Chrome trace.
+# ``cli loadgen`` exits non-zero on any validation problem.
+serve-smoke:
+	PYTHONPATH=src python -m repro.cli loadgen --rates 20 60 120 \
+		--duration 0.25 --max-batch 4 --deadline-ms 3 \
+		--out /tmp/repro-bench-serving-smoke.json \
+		--trace-out /tmp/repro-serving-trace-smoke.json
 
 bench:
 	pytest benchmarks/ --benchmark-only
@@ -41,6 +56,12 @@ bench:
 # (per-kernel ns/call and MACs/s, plus the plan-vs-dynamic speedup).
 bench-fast:
 	pytest benchmarks/test_kernel_microbench.py --benchmark-only
+
+# Serving gateway throughput/latency curves vs offered load; writes
+# machine-readable BENCH_serving.json (>= 3 points + metrics snapshot).
+bench-serving:
+	PYTHONPATH=src python -m repro.cli loadgen --rates 20 60 120 \
+		--duration 1.0 --replicas 2 --out BENCH_serving.json
 
 experiments:
 	python -m repro.experiments.runner

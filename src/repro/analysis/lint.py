@@ -11,23 +11,25 @@ and L004 trailing whitespace.
 
 **Contract rules** (repo-specific; nothing else enforces them):
 
-- L101: functions in ``core/`` that take a ``workspace`` parameter are
-  steady-state kernels and must not call ``np.zeros``/``np.empty``/
-  ``np.concatenate``-style allocators, except lexically inside the
-  documented allocating fallback (the body of ``if <param> is None:`` or
-  the else of ``if <param> is not None:``).
+- L101: functions in ``core/`` or ``serving/`` that take a ``workspace``
+  parameter are steady-state kernels and must not call ``np.zeros``/
+  ``np.empty``/``np.concatenate``-style allocators, except lexically
+  inside the documented allocating fallback (the body of
+  ``if <param> is None:`` or the else of ``if <param> is not None:``).
 - L102: every op registered in :mod:`repro.ops` ships an attribute
   schema, shape inference, a kernel factory and a cost hook (or an entry
   in ``COST_EXEMPT_OPS``) — checked at lint time, not first use.
-- L103: module-level mutable caches in ``core/``/``runtime/``/``obs/``
-  mutated from functions require a module-level
+- L103: module-level mutable caches in ``core/``/``runtime/``/``obs/``/
+  ``serving/`` mutated from functions require a module-level
   ``threading.Lock``/``RLock`` (the ``core.indirection`` memoization
   idiom).
-- L104: compiled-plan paths (``core/``, ``runtime/``, ``ops/``, ``obs/``)
-  must be deterministic: no ``np.random``/``random``/``secrets``/
-  ``os.urandom`` and no wall-clock ``time.time`` (monotonic timers are
-  fine).  The tracer's single recording-boundary wall-clock anchor in
-  ``obs/trace.py`` carries a justified ``allow[L104]``.
+- L104: compiled-plan and serving paths (``core/``, ``runtime/``,
+  ``ops/``, ``obs/``, ``serving/``) must be deterministic: no
+  ``np.random``/``random``/``secrets``/``os.urandom`` and no wall-clock
+  ``time.time`` (monotonic timers are fine).  The tracer's single
+  recording-boundary wall-clock anchor in ``obs/trace.py`` and the
+  serving bench's seeded-generator boundary in ``serving/bench.py``
+  carry justified ``allow[L104]`` suppressions.
 
 Suppression: append ``# repro: allow[L101] <justification>`` to the
 offending line.  A suppression without a justification is itself an error
@@ -68,11 +70,11 @@ def _segments(path: pathlib.Path) -> frozenset[str]:
 
 
 def _in_core(path: pathlib.Path) -> bool:
-    return "core" in _segments(path)
+    return bool(_segments(path) & {"core", "serving"})
 
 
 def _in_plan_path(path: pathlib.Path) -> bool:
-    return bool(_segments(path) & {"core", "runtime", "ops", "obs"})
+    return bool(_segments(path) & {"core", "runtime", "ops", "obs", "serving"})
 
 
 # ------------------------------------------------------------- suppression
@@ -475,7 +477,7 @@ def lint_file(
         diags.extend(_style_rules(tree, text, loc))
     if _in_core(path):
         diags.extend(_kernel_alloc_rule(tree, loc))
-    if _segments(path) & {"core", "runtime", "obs"}:
+    if _segments(path) & {"core", "runtime", "obs", "serving"}:
         diags.extend(_cache_guard_rule(tree, loc))
     if _in_plan_path(path):
         diags.extend(_nondeterminism_rule(tree, loc))

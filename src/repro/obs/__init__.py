@@ -25,6 +25,7 @@ from repro.obs.metrics import (
     MetricsRegistry,
     format_snapshot,
     global_registry,
+    quantile_from_counts,
 )
 from repro.obs.trace import (
     DEFAULT_CAPACITY,
@@ -55,6 +56,7 @@ __all__ = [
     "global_registry",
     "iter_children",
     "node_seconds",
+    "quantile_from_counts",
     "validate_chrome_trace",
     "write_chrome_trace",
 ]

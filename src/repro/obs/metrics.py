@@ -149,6 +149,16 @@ class Histogram:
         with self._lock:
             return dict(self._counts)
 
+    def quantile(self, q: float) -> float:
+        """The ``q``-quantile (0..1) of the observed distribution.
+
+        Nearest-rank over the exact bucket counts — what the serving
+        gateway's p50/p95/p99 latency figures are computed from.
+        Returns 0.0 when nothing has been observed.
+        """
+        with self._lock:
+            return quantile_from_counts(self._counts, q)
+
     def _read_locked(self) -> dict[str, Any]:
         return {
             "count": self._count,
@@ -164,6 +174,26 @@ class Histogram:
         self._total = 0
         self._min = None
         self._max = None
+
+
+def quantile_from_counts(counts: dict[int | float, int], q: float) -> float:
+    """Nearest-rank quantile over a ``value -> count`` distribution.
+
+    Works on a live histogram's buckets or on the ``counts`` sub-dict of
+    a snapshot (where JSON round-trips may have stringified keys).
+    """
+    if not 0.0 <= q <= 1.0:
+        raise ValueError(f"quantile must be in [0, 1], got {q}")
+    total = sum(counts.values())
+    if total == 0:
+        return 0.0
+    rank = max(1, int(-(-q * total // 1)))  # ceil(q * total), at least 1
+    seen = 0
+    for value in sorted(counts, key=float):
+        seen += counts[value]
+        if seen >= rank:
+            return float(value)
+    return float(max(counts, key=float))
 
 
 Instrument = Counter | Gauge | Histogram

@@ -7,6 +7,9 @@ section "The runtime"):
   liveness precomputed, kernel-parameter structs built and prepacked
   weights cached once per graph instead of once per run;
 - :mod:`repro.runtime.rebatch` — batch-polymorphic spec re-inference;
+- :mod:`repro.runtime.scheduler` — the batching/placement policy layer
+  (:class:`Coalescer` micro-batching, :class:`Scheduler` replica
+  placement) shared by the engine and the serving gateway;
 - :mod:`repro.runtime.engine` — the :class:`Engine`: cached plans per
   batch size, intra-op threaded binarized GEMMs, synchronous ``run`` /
   ``run_many`` and an asynchronous dynamically-batching ``submit`` queue,
@@ -16,13 +19,27 @@ section "The runtime"):
 from repro.runtime.engine import Engine, EngineStats
 from repro.runtime.plan import CompiledNode, CompiledPlan, ParamCache, compile_plan
 from repro.runtime.rebatch import rebatched_specs
+from repro.runtime.scheduler import (
+    SCHEDULERS,
+    Coalescer,
+    GreedyCoalescer,
+    LeastLoadedScheduler,
+    RoundRobinScheduler,
+    Scheduler,
+)
 
 __all__ = [
+    "SCHEDULERS",
+    "Coalescer",
     "CompiledNode",
     "CompiledPlan",
     "Engine",
     "EngineStats",
+    "GreedyCoalescer",
+    "LeastLoadedScheduler",
     "ParamCache",
+    "RoundRobinScheduler",
+    "Scheduler",
     "compile_plan",
     "rebatched_specs",
 ]

@@ -35,6 +35,7 @@ from repro.graph.ir import Graph
 from repro.obs.metrics import MetricsRegistry, global_registry
 from repro.obs.trace import NULL_TRACER, NullTracer, Tracer
 from repro.runtime.plan import CompiledPlan, ParamCache, compile_plan
+from repro.runtime.scheduler import Coalescer, GreedyCoalescer
 
 Value = Any  # np.ndarray | PackedTensor
 Request = tuple[Value, ...]
@@ -131,6 +132,13 @@ class Engine:
             :func:`repro.core.threading.bgemm_parallel`).
         max_batch_size: largest micro-batch (in base-batch groups) that
             ``run_many``/``submit`` will coalesce into one plan call.
+        param_cache: a :class:`~repro.runtime.plan.ParamCache` to share
+            prepacked weights with other engines over the same graph (the
+            serving gateway's warm replica pool); a private cache when
+            ``None``.
+        coalescer: the micro-batching policy (see
+            :mod:`repro.runtime.scheduler`); defaults to the historical
+            :class:`~repro.runtime.scheduler.GreedyCoalescer`.
 
     Thread safety: one engine may be shared by any number of threads; plan
     compilation and the weight cache are serialized behind a lock while
@@ -152,6 +160,8 @@ class Engine:
         num_threads: int = 1,
         max_batch_size: int = 8,
         trace: Tracer | None = None,
+        param_cache: ParamCache | None = None,
+        coalescer: Coalescer | None = None,
     ) -> None:
         graph = getattr(model, "graph", model)
         if not isinstance(graph, Graph):
@@ -173,7 +183,10 @@ class Engine:
 
         self._plan_lock = threading.Lock()
         self._plans: dict[int, CompiledPlan] = {}
-        self._param_cache = ParamCache()
+        self._param_cache = param_cache if param_cache is not None else ParamCache()
+        self.coalescer: Coalescer = (
+            coalescer if coalescer is not None else GreedyCoalescer()
+        )
 
         #: tracer recording this engine's spans; NULL_TRACER when disabled
         self.tracer: Tracer | NullTracer = trace if trace is not None else NULL_TRACER
@@ -264,6 +277,16 @@ class Engine:
         if not factor:
             raise ValueError("empty batch")
         return factor
+
+    def normalize(self, inputs: Sequence[Value]) -> tuple[Request, int]:
+        """Validate ``inputs`` and return ``(canonical request, factor)``.
+
+        The serving gateway calls this at admission time so malformed
+        requests raise in the submitting caller instead of inside a
+        batcher thread.  Raises :class:`ValueError` exactly like ``run``.
+        """
+        request = self._normalize_request(inputs)
+        return request, self._batch_factor(request)
 
     def _execute(self, plan: CompiledPlan, inputs: Request) -> tuple[Value, ...]:
         node_times: dict[str, float] = {}
@@ -360,18 +383,7 @@ class Engine:
     def _coalesce_inner(
         self, items: list[tuple[Request, int]]
     ) -> list[list[tuple[Request, int]]]:
-        chunks: list[list[tuple[Request, int]]] = []
-        current: list[tuple[Request, int]] = []
-        current_size = 0
-        for request, factor in items:
-            if current and current_size + factor > self.max_batch_size:
-                chunks.append(current)
-                current, current_size = [], 0
-            current.append((request, factor))
-            current_size += factor
-        if current:
-            chunks.append(current)
-        return chunks
+        return self.coalescer.coalesce(items, self.max_batch_size)
 
     def _run_chunk(self, chunk: list[tuple[Request, int]]) -> list[Result]:
         """Execute one micro-batch and split its outputs per request."""

@@ -1,0 +1,117 @@
+"""Batching and placement policy, extracted from the :class:`Engine`.
+
+Two orthogonal policy axes that used to live as private ``Engine``
+methods now have names and can be swapped (ROADMAP: one policy layer
+shared by the engine, the serving gateway and future cluster workers):
+
+- :class:`Coalescer` — how a stream of ``(request, batch_factor)``
+  items is grouped into micro-batches bounded by ``max_batch``.
+  :class:`GreedyCoalescer` is the engine's historical behavior: greedy
+  in-order packing, a single oversize request runs alone, the ragged
+  tail forms a final smaller micro-batch.
+- :class:`Scheduler` — which replica a formed batch is placed on, given
+  the ids of the currently idle, healthy replicas.
+  :class:`RoundRobinScheduler` rotates through them;
+  :class:`LeastLoadedScheduler` picks the replica that has executed the
+  fewest batches so far (ties break on the lowest id).
+
+Both are deliberately free of locks and clocks: callers (the engine's
+``run_many``/``submit`` paths, the gateway's batcher thread) serialize
+access themselves, so policies stay trivially testable.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Protocol, Sequence, runtime_checkable
+
+#: one queued unit of work: (opaque request, batch factor in base groups)
+Item = tuple[Any, int]
+
+
+@runtime_checkable
+class Coalescer(Protocol):
+    """Groups an ordered stream of items into micro-batches."""
+
+    def coalesce(self, items: Sequence[Item], max_batch: int) -> list[list[Item]]:
+        """Partition ``items`` (order-preserving) into chunks whose total
+        batch factor is at most ``max_batch`` where possible."""
+        ...
+
+
+class GreedyCoalescer:
+    """Greedy in-order packing into micro-batches <= ``max_batch``.
+
+    A single item larger than ``max_batch`` forms its own chunk (it
+    cannot be split here; rebatching is a plan-level concern); the
+    ragged tail forms a final, smaller chunk.  This is the exact policy
+    ``Engine`` has always used.
+    """
+
+    def coalesce(self, items: Sequence[Item], max_batch: int) -> list[list[Item]]:
+        chunks: list[list[Item]] = []
+        current: list[Item] = []
+        current_size = 0
+        for request, factor in items:
+            if current and current_size + factor > max_batch:
+                chunks.append(current)
+                current, current_size = [], 0
+            current.append((request, factor))
+            current_size += factor
+        if current:
+            chunks.append(current)
+        return chunks
+
+
+@runtime_checkable
+class Scheduler(Protocol):
+    """Places a formed batch on one of the idle, healthy replicas."""
+
+    def pick(self, candidates: Sequence[int]) -> int:
+        """Return one element of ``candidates`` (never empty)."""
+        ...
+
+    def record(self, replica_id: int) -> None:
+        """Feedback hook: ``replica_id`` was handed a batch."""
+        ...
+
+
+class RoundRobinScheduler:
+    """Rotate placement across replicas, skipping unavailable ones."""
+
+    def __init__(self) -> None:
+        self._next = 0
+
+    def pick(self, candidates: Sequence[int]) -> int:
+        if not candidates:
+            raise ValueError("pick() requires at least one candidate")
+        # Choose the first candidate at or after the rotation cursor so
+        # quarantined/busy replicas are skipped without stalling rotation.
+        modulus = max(candidates) + 1
+        return min(
+            candidates, key=lambda r: ((r - self._next) % modulus, r)
+        )
+
+    def record(self, replica_id: int) -> None:
+        self._next = replica_id + 1
+
+
+class LeastLoadedScheduler:
+    """Place each batch on the replica that has served the fewest."""
+
+    def __init__(self) -> None:
+        self._served: dict[int, int] = {}
+
+    def pick(self, candidates: Sequence[int]) -> int:
+        if not candidates:
+            raise ValueError("pick() requires at least one candidate")
+        return min(candidates, key=lambda r: (self._served.get(r, 0), r))
+
+    def record(self, replica_id: int) -> None:
+        self._served[replica_id] = self._served.get(replica_id, 0) + 1
+
+
+#: named policies the gateway config / CLI can refer to
+SCHEDULERS = {
+    "round_robin": RoundRobinScheduler,
+    "least_loaded": LeastLoadedScheduler,
+}

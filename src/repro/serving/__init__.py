@@ -1,0 +1,59 @@
+"""`repro.serving`: the async request gateway in front of the Engine.
+
+The deployment front door (ROADMAP item 1): per-model bounded queues
+with admission control and typed load-shedding, deadline-driven
+continuous batching, warm Engine replica pools sharing prepacked
+weights, pluggable placement policies, and an open-loop load generator
+driving ``BENCH_serving.json``:
+
+- :mod:`repro.serving.clock` — the :class:`Clock` seam every
+  time-dependent decision goes through (tests inject a fake);
+- :mod:`repro.serving.gateway` — :class:`Gateway`, :class:`Rejected`,
+  :class:`GatewayConfig`, :class:`GatewayStats`;
+- :mod:`repro.serving.loadgen` — seeded Poisson arrival schedules and
+  :func:`run_load`;
+- :mod:`repro.serving.bench` — the ``make bench-serving`` sweep and the
+  ``BENCH_serving.json`` schema oracle.
+"""
+
+from repro.serving.clock import MONOTONIC_CLOCK, Clock, MonotonicClock
+from repro.serving.gateway import (
+    FAILED_REPLICA,
+    REJECT_REASONS,
+    SHED_CLOSED,
+    SHED_NO_HEALTHY_REPLICA,
+    SHED_QUEUE_FULL,
+    SHED_UNKNOWN_MODEL,
+    Gateway,
+    GatewayConfig,
+    GatewayStats,
+    Rejected,
+)
+from repro.serving.loadgen import (
+    Arrival,
+    LoadReport,
+    TrafficProfile,
+    generate_arrivals,
+    run_load,
+)
+
+__all__ = [
+    "FAILED_REPLICA",
+    "MONOTONIC_CLOCK",
+    "REJECT_REASONS",
+    "SHED_CLOSED",
+    "SHED_NO_HEALTHY_REPLICA",
+    "SHED_QUEUE_FULL",
+    "SHED_UNKNOWN_MODEL",
+    "Arrival",
+    "Clock",
+    "Gateway",
+    "GatewayConfig",
+    "GatewayStats",
+    "LoadReport",
+    "MonotonicClock",
+    "Rejected",
+    "TrafficProfile",
+    "generate_arrivals",
+    "run_load",
+]

@@ -1,0 +1,658 @@
+"""The async serving gateway: the front door in front of Engine replicas.
+
+The paper's point is that kernels only matter once they serve traffic;
+this module turns the compiled-plan :class:`~repro.runtime.Engine` into a
+service.  One :class:`Gateway` fronts any number of models; per model it
+owns:
+
+- a **bounded queue** with admission control — a full queue, a closed
+  gateway, an unknown model or a dead replica pool sheds the request
+  with a typed :class:`Rejected` *result* (the future still resolves;
+  nothing ever blocks the submitter and nothing grows unboundedly);
+- a **deadline batcher** — a thread that forms micro-batches
+  continuously, flushing on ``max_batch`` *or* ``deadline_ms`` after the
+  oldest queued request, whichever comes first.  All waiting goes
+  through the injected :class:`~repro.serving.clock.Clock`, so tests
+  drive every deadline with a fake clock and zero wall-clock sleeps;
+- a **warm replica pool** — ``replicas`` engines sharing one prepacked
+  :class:`~repro.runtime.plan.ParamCache`, each with a worker thread.
+  A pluggable :class:`~repro.runtime.scheduler.Scheduler` places each
+  formed batch on an idle replica; a replica that keeps failing is
+  quarantined (its in-flight batch resolves to typed ``Rejected``
+  replies, never an exception leak or a deadlock) and the pool keeps
+  serving on the survivors.
+
+Observability: every admission decision and batch lands in the gateway's
+:class:`~repro.obs.metrics.MetricsRegistry` under ``gateway.*`` names
+(grouped updates keep ``submitted == accepted + shed`` true at *every*
+snapshot), and a :class:`~repro.obs.trace.Tracer` records
+``gateway.flush`` spans that nest the engine's existing
+``engine.run_many`` → ``plan.execute`` → kernel spans.
+
+Determinism contract: an accepted request's reply is bit-identical to
+running that request alone through ``Engine.run`` — the gateway only
+re-batches, it never re-orders values inside a batch (see
+``tests/test_serving_conservation.py``).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from concurrent.futures import Future
+from dataclasses import dataclass, field
+from typing import Any, Callable, Mapping, Sequence
+
+from repro.graph.ir import Graph
+from repro.obs.metrics import MetricsRegistry, global_registry, quantile_from_counts
+from repro.obs.trace import NULL_TRACER, NullTracer, Tracer
+from repro.runtime.engine import Engine
+from repro.runtime.plan import ParamCache
+from repro.runtime.scheduler import (
+    SCHEDULERS,
+    Coalescer,
+    GreedyCoalescer,
+    Scheduler,
+)
+from repro.serving.clock import MONOTONIC_CLOCK, Clock
+
+Value = Any
+Request = tuple[Value, ...]
+
+# Typed shed/failure reasons (the `Rejected.reason` vocabulary).
+SHED_QUEUE_FULL = "queue_full"
+SHED_CLOSED = "closed"
+SHED_UNKNOWN_MODEL = "unknown_model"
+SHED_NO_HEALTHY_REPLICA = "no_healthy_replica"
+FAILED_REPLICA = "replica_error"
+
+#: every reason `submit` can resolve a future with
+REJECT_REASONS = frozenset(
+    {
+        SHED_QUEUE_FULL,
+        SHED_CLOSED,
+        SHED_UNKNOWN_MODEL,
+        SHED_NO_HEALTHY_REPLICA,
+        FAILED_REPLICA,
+    }
+)
+
+
+@dataclass(frozen=True)
+class Rejected:
+    """A typed negative reply: the request was shed or its replica died.
+
+    Futures returned by :meth:`Gateway.submit` always *resolve* — either
+    with the model outputs or with one of these.  Callers branch on
+    ``isinstance(reply, Rejected)``; nothing raises out of the gateway's
+    threads and nothing deadlocks on an error path.
+    """
+
+    model: str
+    reason: str
+    detail: str = ""
+
+
+@dataclass(frozen=True)
+class GatewayConfig:
+    """Per-model serving policy (one config applies to every model)."""
+
+    #: largest micro-batch, in base-batch groups (same unit as the engine)
+    max_batch: int = 8
+    #: flush a forming batch this long after its oldest request, even if
+    #: it is not full — the latency half of continuous batching
+    deadline_ms: float = 5.0
+    #: bounded per-model queue, in queued requests; admission sheds beyond
+    max_queue: int = 64
+    #: warm engines per model, sharing one prepacked ParamCache
+    replicas: int = 1
+    #: intra-op threads per engine
+    num_threads: int = 1
+    #: consecutive batch failures before a replica is quarantined
+    max_replica_failures: int = 3
+    #: replica placement policy name (see repro.runtime.scheduler.SCHEDULERS)
+    scheduler: str = "round_robin"
+
+    def validate(self) -> None:
+        if self.max_batch < 1:
+            raise ValueError(f"max_batch must be positive, got {self.max_batch}")
+        if self.deadline_ms < 0:
+            raise ValueError(f"deadline_ms must be >= 0, got {self.deadline_ms}")
+        if self.max_queue < 1:
+            raise ValueError(f"max_queue must be positive, got {self.max_queue}")
+        if self.replicas < 1:
+            raise ValueError(f"replicas must be positive, got {self.replicas}")
+        if self.max_replica_failures < 1:
+            raise ValueError(
+                f"max_replica_failures must be positive, "
+                f"got {self.max_replica_failures}"
+            )
+        if self.scheduler not in SCHEDULERS:
+            raise ValueError(
+                f"unknown scheduler {self.scheduler!r}; "
+                f"known: {sorted(SCHEDULERS)}"
+            )
+
+
+@dataclass(frozen=True)
+class GatewayStats:
+    """A consistent snapshot of the gateway's counters and latency tails."""
+
+    submitted: int
+    accepted: int
+    shed: int
+    completed: int
+    failed: int
+    batches: int
+    #: executed batch size (in base-batch groups) -> count
+    batch_histogram: dict[int, int]
+    p50_ms: float
+    p95_ms: float
+    p99_ms: float
+    queue_depth: dict[str, int] = field(default_factory=dict)
+    shed_by_model: dict[str, int] = field(default_factory=dict)
+    replicas_healthy: dict[str, int] = field(default_factory=dict)
+    #: every replica engine's plans passed the static-analysis stack
+    verified: bool = True
+
+    @property
+    def in_flight(self) -> int:
+        """Accepted requests not yet answered."""
+        return self.accepted - self.completed - self.failed
+
+    @property
+    def mean_batch_size(self) -> float:
+        total = sum(size * n for size, n in self.batch_histogram.items())
+        return total / self.batches if self.batches else 0.0
+
+
+def _resolve(future: Future, value: Any) -> None:
+    """Resolve a reply future, tolerating caller-side cancellation."""
+    if not future.set_running_or_notify_cancel():
+        return  # caller cancelled while queued; reply has nowhere to go
+    future.set_result(value)
+
+
+class _Pending:
+    """One admitted request waiting in a model queue."""
+
+    __slots__ = ("request", "factor", "future", "t_submit")
+
+    def __init__(
+        self, request: Request, factor: int, future: Future, t_submit: float
+    ) -> None:
+        self.request = request
+        self.factor = factor
+        self.future = future
+        self.t_submit = t_submit
+
+
+class _Replica:
+    """One warm engine plus its worker-thread state.
+
+    All mutable fields are guarded by the owning server's single lock
+    (via its two conditions); the worker thread is the only writer of
+    ``consecutive_failures``.
+    """
+
+    __slots__ = (
+        "idx", "engine", "thread", "inbox", "busy", "quarantined",
+        "consecutive_failures",
+    )
+
+    def __init__(self, idx: int, engine: Engine) -> None:
+        self.idx = idx
+        self.engine = engine
+        self.thread: threading.Thread | None = None
+        self.inbox: list[_Pending] | None = None
+        self.busy = False
+        self.quarantined = False
+        self.consecutive_failures = 0
+
+
+class _ModelServer:
+    """Queue + batcher + replica pool for one model.
+
+    One lock, two conditions: ``_cond`` carries queue edges (enqueue,
+    close) to the batcher; ``_replica_cond`` carries replica-state edges
+    (idle, quarantine, batch handoff) between the batcher and the
+    workers.  The batcher never holds the lock across engine execution.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        model: Graph | Any,
+        config: GatewayConfig,
+        clock: Clock,
+        metrics: MetricsRegistry,
+        tracer: Tracer | NullTracer,
+        scheduler: Scheduler,
+        coalescer: Coalescer,
+        gateway_counters: dict[str, Any],
+        engine_factory: Callable[..., Engine] | None = None,
+    ) -> None:
+        self.name = name
+        self._config = config
+        self._clock = clock
+        self._metrics = metrics
+        self._tracer = tracer
+        self._scheduler = scheduler
+        self._coalescer = coalescer
+        self._g = gateway_counters
+
+        self._lock = threading.Lock()
+        self._cond = threading.Condition(self._lock)
+        self._replica_cond = threading.Condition(self._lock)
+        self._queue: deque[_Pending] = deque()
+        self._queued_factor = 0
+        self._closed = False
+        self._workers_closed = False
+
+        # Warm pool: every replica shares one prepacked-weight cache, so
+        # binarized filters are packed once per model, not once per engine.
+        self.param_cache = ParamCache()
+        if engine_factory is None:
+            engine_factory = Engine
+        self._replicas = [
+            _Replica(
+                idx,
+                engine_factory(
+                    model,
+                    num_threads=config.num_threads,
+                    max_batch_size=config.max_batch,
+                    trace=tracer if isinstance(tracer, Tracer) else None,
+                    param_cache=self.param_cache,
+                ),
+            )
+            for idx in range(config.replicas)
+        ]
+
+        m = metrics
+        self._m_accepted = m.counter(f"gateway.{name}.accepted")
+        self._m_shed = m.counter(f"gateway.{name}.shed")
+        self._m_completed = m.counter(f"gateway.{name}.completed")
+        self._m_failed = m.counter(f"gateway.{name}.failed")
+        self._m_batches = m.counter(f"gateway.{name}.batches")
+        self._m_batch_size = m.histogram(f"gateway.{name}.batch_size")
+        self._m_latency = m.histogram(f"gateway.{name}.latency_ms")
+        self._m_replica_failures = m.counter(f"gateway.{name}.replica_failures")
+        m.gauge(f"gateway.{name}.queue_depth", self.queue_depth)
+        m.gauge(f"gateway.{name}.replicas_healthy", self.healthy_replicas)
+
+        self._batcher = threading.Thread(
+            target=self._batcher_loop, name=f"repro-gw-batcher-{name}", daemon=True
+        )
+        self._batcher.start()
+        for replica in self._replicas:
+            replica.thread = threading.Thread(
+                target=self._worker_loop,
+                args=(replica,),
+                name=f"repro-gw-{name}-r{replica.idx}",
+                daemon=True,
+            )
+            replica.thread.start()
+
+    # --------------------------------------------------------------- views
+    def queue_depth(self) -> int:
+        with self._lock:
+            return len(self._queue)
+
+    def healthy_replicas(self) -> int:
+        with self._lock:
+            return sum(1 for r in self._replicas if not r.quarantined)
+
+    @property
+    def engines(self) -> list[Engine]:
+        return [r.engine for r in self._replicas]
+
+    def warmup(self, factors: Sequence[int]) -> None:
+        """Compile plans (and prepack weights) ahead of traffic."""
+        for replica in self._replicas:
+            for factor in factors:
+                replica.engine.plan(factor)
+
+    # ----------------------------------------------------------- admission
+    def submit(self, request: Request, factor: int, future: Future) -> None:
+        """Admit or shed; always resolves ``future`` eventually."""
+        t_submit = self._clock.now()
+        reason: str | None = None
+        with self._lock:
+            if self._closed:
+                reason = SHED_CLOSED
+            elif all(r.quarantined for r in self._replicas):
+                reason = SHED_NO_HEALTHY_REPLICA
+            elif len(self._queue) >= self._config.max_queue:
+                reason = SHED_QUEUE_FULL
+            else:
+                # Count acceptance *before* the batcher can see the item,
+                # so no snapshot ever observes completed > accepted.
+                with self._metrics.lock():
+                    self._g["submitted"].inc()
+                    self._g["accepted"].inc()
+                    self._m_accepted.inc()
+                self._queue.append(_Pending(request, factor, future, t_submit))
+                self._queued_factor += factor
+                self._cond.notify()
+        if reason is not None:
+            self._shed(future, reason)
+
+    def _shed(self, future: Future, reason: str, detail: str = "") -> None:
+        with self._metrics.lock():
+            self._g["submitted"].inc()
+            self._g["shed"].inc()
+            self._m_shed.inc()
+        tracer = self._tracer
+        if tracer.enabled:
+            tracer.record(
+                "gateway.shed", time.perf_counter(), 0.0,
+                model=self.name, reason=reason,
+            )
+        _resolve(future, Rejected(self.name, reason, detail))
+
+    # ------------------------------------------------------------- batcher
+    def _batcher_loop(self) -> None:
+        clock = self._clock
+        while True:
+            with self._cond:
+                while not self._queue and not self._closed:
+                    clock.wait(self._cond, None)
+                if not self._queue:
+                    return  # closed and fully drained
+                if not self._closed and self._config.deadline_ms > 0:
+                    # Continuous batching with a latency deadline: wait for
+                    # more work until the batch is full or the oldest
+                    # request's deadline expires — whichever comes first.
+                    deadline = clock.now() + self._config.deadline_ms / 1e3
+                    while (
+                        self._queued_factor < self._config.max_batch
+                        and not self._closed
+                    ):
+                        remaining = deadline - clock.now()
+                        if remaining <= 0:
+                            break
+                        clock.wait(self._cond, remaining)
+                batch = self._take_batch()
+            self._dispatch(batch)
+
+    def _take_batch(self) -> list[_Pending]:
+        """Pop the first greedy micro-batch (called with the lock held)."""
+        items = [(p.request, p.factor) for p in self._queue]
+        first = self._coalescer.coalesce(items, self._config.max_batch)[0]
+        batch = [self._queue.popleft() for _ in range(len(first))]
+        self._queued_factor -= sum(p.factor for p in batch)
+        return batch
+
+    def _dispatch(self, batch: list[_Pending]) -> None:
+        """Hand a formed batch to an idle healthy replica (or shed)."""
+        with self._replica_cond:
+            while True:
+                healthy = [r for r in self._replicas if not r.quarantined]
+                if not healthy:
+                    break
+                idle = [r.idx for r in healthy if not r.busy]
+                if idle:
+                    rid = self._scheduler.pick(idle)
+                    self._scheduler.record(rid)
+                    replica = self._replicas[rid]
+                    replica.busy = True
+                    replica.inbox = batch
+                    self._replica_cond.notify_all()
+                    return
+                self._clock.wait(self._replica_cond, None)
+        # Every replica is quarantined: typed shed, never a deadlock.
+        with self._metrics.lock():
+            self._m_failed.add(len(batch))
+            self._g["failed"].add(len(batch))
+        for p in batch:
+            _resolve(
+                p.future,
+                Rejected(self.name, SHED_NO_HEALTHY_REPLICA, "replica pool dead"),
+            )
+
+    # ------------------------------------------------------------- workers
+    def _worker_loop(self, replica: _Replica) -> None:
+        while True:
+            with self._replica_cond:
+                while replica.inbox is None and not self._workers_closed:
+                    self._clock.wait(self._replica_cond, None)
+                batch = replica.inbox
+                replica.inbox = None
+            if batch is None:
+                return  # workers closed, inbox empty
+            self._run_batch(replica, batch)
+            with self._replica_cond:
+                replica.busy = False
+                self._replica_cond.notify_all()
+
+    def _run_batch(self, replica: _Replica, batch: list[_Pending]) -> None:
+        size = sum(p.factor for p in batch)
+        requests = [p.request for p in batch]
+        tracer = self._tracer
+        try:
+            if tracer.enabled:
+                with tracer.span(
+                    "gateway.flush",
+                    model=self.name,
+                    replica=replica.idx,
+                    requests=len(batch),
+                    size=size,
+                ):
+                    results = replica.engine.run_many(requests)
+            else:
+                results = replica.engine.run_many(requests)
+        except BaseException as exc:
+            self._record_failure(replica, batch, exc)
+            return
+        with self._replica_cond:
+            replica.consecutive_failures = 0
+        end = self._clock.now()
+        with self._metrics.lock():
+            self._m_batches.inc()
+            self._g["batches"].inc()
+            self._m_batch_size.observe(size)
+            self._g["batch_size"].observe(size)
+            self._m_completed.add(len(batch))
+            self._g["completed"].add(len(batch))
+            for p in batch:
+                latency_ms = round((end - p.t_submit) * 1e3, 3)
+                self._m_latency.observe(latency_ms)
+                self._g["latency_ms"].observe(latency_ms)
+        for p, result in zip(batch, results):
+            _resolve(p.future, result)
+
+    def _record_failure(
+        self, replica: _Replica, batch: list[_Pending], exc: BaseException
+    ) -> None:
+        """Fault isolation: count, maybe quarantine, answer with Rejected."""
+        with self._replica_cond:
+            replica.consecutive_failures += 1
+            if replica.consecutive_failures >= self._config.max_replica_failures:
+                replica.quarantined = True
+            self._replica_cond.notify_all()
+        with self._metrics.lock():
+            self._m_replica_failures.inc()
+            self._m_failed.add(len(batch))
+            self._g["failed"].add(len(batch))
+        detail = f"{type(exc).__name__}: {exc}"
+        for p in batch:
+            _resolve(p.future, Rejected(self.name, FAILED_REPLICA, detail))
+
+    # --------------------------------------------------------------- close
+    def close(self) -> None:
+        """Stop admission, drain the queue, stop workers; idempotent.
+
+        Already-admitted requests are flushed (the deadline is cut short)
+        and answered before the threads exit.
+        """
+        with self._cond:
+            if self._closed and self._workers_closed:
+                return
+            self._closed = True
+            self._cond.notify_all()
+        self._batcher.join()
+        with self._replica_cond:
+            self._workers_closed = True
+            self._replica_cond.notify_all()
+        for replica in self._replicas:
+            if replica.thread is not None:
+                replica.thread.join()
+        for replica in self._replicas:
+            replica.engine.close()
+
+
+class Gateway:
+    """Multi-model request gateway over warm Engine replica pools.
+
+    Args:
+        models: ``name -> Graph`` (or anything with ``.graph``) — the
+            converted inference graphs to serve.
+        config: one :class:`GatewayConfig` applied to every model.
+        clock: the time source (tests inject a fake; defaults to the
+            monotonic wall-free clock).
+        trace: optional :class:`~repro.obs.trace.Tracer`; gateway spans
+            nest the replica engines' spans in the same timeline.
+        scheduler_factory: builds one placement policy per model;
+            overrides ``config.scheduler``.
+    """
+
+    def __init__(
+        self,
+        models: Mapping[str, Graph | Any],
+        config: GatewayConfig | None = None,
+        *,
+        clock: Clock | None = None,
+        trace: Tracer | None = None,
+        scheduler_factory: Callable[[], Scheduler] | None = None,
+        engine_factory: Callable[..., Engine] | None = None,
+    ) -> None:
+        if not models:
+            raise ValueError("gateway requires at least one model")
+        self.config = config if config is not None else GatewayConfig()
+        self.config.validate()
+        self.clock: Clock = clock if clock is not None else MONOTONIC_CLOCK
+        self.tracer: Tracer | NullTracer = trace if trace is not None else NULL_TRACER
+        self.metrics = MetricsRegistry()
+        if scheduler_factory is None:
+            scheduler_factory = SCHEDULERS[self.config.scheduler]
+
+        m = self.metrics
+        self._g = {
+            "submitted": m.counter("gateway.submitted"),
+            "accepted": m.counter("gateway.accepted"),
+            "shed": m.counter("gateway.shed"),
+            "completed": m.counter("gateway.completed"),
+            "failed": m.counter("gateway.failed"),
+            "batches": m.counter("gateway.batches"),
+            "batch_size": m.histogram("gateway.batch_size"),
+            "latency_ms": m.histogram("gateway.latency_ms"),
+        }
+        self._servers: dict[str, _ModelServer] = {}
+        self._closed = False
+        for name, model in models.items():
+            self._servers[name] = _ModelServer(
+                name,
+                model,
+                self.config,
+                self.clock,
+                self.metrics,
+                self.tracer,
+                scheduler_factory(),
+                GreedyCoalescer(),
+                self._g,
+                engine_factory,
+            )
+
+    # ------------------------------------------------------------ frontend
+    @property
+    def models(self) -> tuple[str, ...]:
+        return tuple(sorted(self._servers))
+
+    def server(self, model: str) -> _ModelServer:
+        """The per-model server (tests and tooling reach in through this)."""
+        return self._servers[model]
+
+    def warmup(self, factors: Sequence[int] = (1,)) -> None:
+        """Compile plans and prepack weights for every model/replica."""
+        for server in self._servers.values():
+            server.warmup(factors)
+
+    def submit(self, model: str, *inputs: Value) -> Future:
+        """Queue one request; the future resolves to outputs or `Rejected`.
+
+        Never blocks and never raises for load reasons — admission
+        failures resolve the future with a typed :class:`Rejected`.
+        Malformed inputs (wrong arity/shape) raise ``ValueError``
+        synchronously, exactly like ``Engine.run``.
+        """
+        future: Future = Future()
+        tracer = self.tracer
+        server = self._servers.get(model)
+        if server is None:
+            with self.metrics.lock():
+                self._g["submitted"].inc()
+                self._g["shed"].inc()
+            _resolve(future, Rejected(model, SHED_UNKNOWN_MODEL))
+            return future
+        # Validate in the caller's thread (raises like Engine.run).
+        request, factor = server.engines[0].normalize(inputs)
+        if tracer.enabled:
+            with tracer.span("gateway.submit", model=model, factor=factor):
+                server.submit(request, factor, future)
+        else:
+            server.submit(request, factor, future)
+        return future
+
+    def close(self) -> None:
+        """Drain every model server and stop all threads; idempotent."""
+        self._closed = True
+        for server in self._servers.values():
+            server.close()
+
+    def __enter__(self) -> "Gateway":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------- metrics
+    def stats(self) -> GatewayStats:
+        """A consistent snapshot of gateway counters plus latency tails."""
+        snap = self.metrics.snapshot()
+        hist = snap["gateway.batch_size"]
+        latency = snap["gateway.latency_ms"]["counts"]
+        return GatewayStats(
+            submitted=snap["gateway.submitted"],
+            accepted=snap["gateway.accepted"],
+            shed=snap["gateway.shed"],
+            completed=snap["gateway.completed"],
+            failed=snap["gateway.failed"],
+            batches=snap["gateway.batches"],
+            batch_histogram={int(k): v for k, v in hist["counts"].items()},
+            p50_ms=quantile_from_counts(latency, 0.50),
+            p95_ms=quantile_from_counts(latency, 0.95),
+            p99_ms=quantile_from_counts(latency, 0.99),
+            queue_depth={
+                name: snap[f"gateway.{name}.queue_depth"]
+                for name in self._servers
+            },
+            shed_by_model={
+                name: snap[f"gateway.{name}.shed"] for name in self._servers
+            },
+            replicas_healthy={
+                name: snap[f"gateway.{name}.replicas_healthy"]
+                for name in self._servers
+            },
+            verified=all(
+                engine.stats().verified
+                for server in self._servers.values()
+                for engine in server.engines
+            ),
+        )
+
+    def metrics_snapshot(self) -> dict[str, Any]:
+        """Gateway registry merged over the process-wide cache gauges."""
+        snap = global_registry().snapshot()
+        snap.update(self.metrics.snapshot())
+        return snap

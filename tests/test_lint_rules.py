@@ -202,6 +202,11 @@ def test_l101_scoped_to_core_paths(tmp_path):
     assert not _lint(tmp_path, "src/repro/zoo/k.py", _KERNEL_BAD, style=False)
 
 
+def test_l101_covers_serving_paths(tmp_path):
+    diags = _lint(tmp_path, "src/repro/serving/k.py", _KERNEL_BAD, style=False)
+    assert _rules(diags) == {"L101"}
+
+
 def test_l101_suppression_with_reason(tmp_path):
     src = _KERNEL_BAD.replace(
         "np.empty((4, 4), np.float32)",
@@ -305,6 +310,13 @@ def test_l103_scoped_to_core_and_runtime(tmp_path):
     )
 
 
+def test_l103_covers_serving_paths(tmp_path):
+    diags = _lint(
+        tmp_path, "src/repro/serving/cache.py", _CACHE_BAD, style=False
+    )
+    assert _rules(diags) == {"L103"}
+
+
 # -------------------------------------------------- L104: nondeterminism
 
 
@@ -338,6 +350,20 @@ def test_l104_scoped_to_plan_paths(tmp_path):
         def weights(shape):
             return np.random.default_rng(0).standard_normal(shape)
         """, style=False)
+
+
+def test_l104_covers_serving_paths(tmp_path):
+    # The serving layer inherits the determinism contract: wall-clock
+    # reads or ambient entropy in the gateway would break FakeClock tests.
+    diags = _lint(tmp_path, "src/repro/serving/sched.py", """\
+        import time
+
+        import numpy as np
+
+        def jitter_deadline(ms):
+            return ms + np.random.default_rng().random() + time.time()
+        """, style=False)
+    assert _rules(diags) == {"L104"}
 
 
 # ------------------------------------------------------------ tree drivers

@@ -1,0 +1,166 @@
+"""Conservation under concurrent load: nothing lost, nothing invented.
+
+Seeded submitter threads hammer a two-model gateway with mixed batch
+factors and a deliberately tiny queue (so shedding happens).  The
+properties checked afterwards:
+
+- **request conservation** — ``accepted + shed == submitted`` and every
+  future resolved exactly once (a reply per accepted request, a typed
+  ``Rejected`` per shed one);
+- **bit identity** — every served reply equals the reference-executor
+  output for its (model, factor) input, i.e. gateway batching never
+  mixes, reorders or perturbs values inside a batch;
+- **metric consistency** — the stats snapshot agrees with the replies
+  the clients actually saw, batch-size mass equals completed factors,
+  and the latency percentiles are monotone.
+
+The gateway runs on a FakeClock with ``deadline_ms=0`` (flush as soon as
+the batcher sees work), so no timed wait is ever armed and the whole
+stress run is event-driven — zero wall-clock sleeps, any thread
+interleaving, same invariants.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+import pytest
+from fake_clock import FakeClock
+from test_runtime_parity import (
+    _batched_input,
+    _binary_net,
+    _bmaxpool_net,
+    assert_bit_identical,
+    reference_outputs,
+)
+
+from repro.core.types import Padding
+from repro.serving import SHED_QUEUE_FULL, Gateway, GatewayConfig, Rejected
+
+pytestmark = pytest.mark.serving
+
+RESULT_TIMEOUT_S = 30.0
+THREADS = 4
+PER_THREAD = 25
+FACTORS = (1, 2)
+
+
+def _gateway_under_stress(rng, seed):
+    graphs = {"bin": _binary_net(rng, Padding.SAME_ONE), "pool": _bmaxpool_net(rng)}
+    # One fixed input per (model, factor): replies are comparable against
+    # precomputed references no matter which thread submitted them.
+    inputs = {
+        (name, factor): _batched_input(graph, factor, rng)
+        for name, graph in graphs.items()
+        for factor in FACTORS
+    }
+    references = {
+        key: reference_outputs(graphs[key[0]], (value,), key[1])
+        for key, value in inputs.items()
+    }
+    config = GatewayConfig(
+        max_batch=4,
+        deadline_ms=0.0,  # flush immediately: no timed waits, no advance()
+        max_queue=5,  # tiny on purpose: overload must shed, not queue
+        replicas=2,
+        scheduler="least_loaded",
+    )
+    gateway = Gateway(graphs, config, clock=FakeClock())
+    return gateway, inputs, references
+
+
+@pytest.mark.parametrize(
+    "seed",
+    [0, pytest.param(1, marks=pytest.mark.slow), pytest.param(2, marks=pytest.mark.slow)],
+)
+def test_conservation_under_concurrent_load(rng, seed):
+    gateway, inputs, references = _gateway_under_stress(rng, seed)
+    keys = sorted(inputs)
+    barrier = threading.Barrier(THREADS)
+    submissions: list[list[tuple[tuple[str, int], object]]] = [
+        [] for _ in range(THREADS)
+    ]
+    errors: list[BaseException] = []
+
+    def submitter(tid: int) -> None:
+        thread_rng = np.random.default_rng(1000 * (seed + 1) + tid)
+        try:
+            barrier.wait(RESULT_TIMEOUT_S)
+            for _ in range(PER_THREAD):
+                key = keys[int(thread_rng.integers(len(keys)))]
+                future = gateway.submit(key[0], inputs[key])
+                submissions[tid].append((key, future))
+        except BaseException as exc:  # pragma: no cover - diagnostic path
+            errors.append(exc)
+
+    threads = [
+        threading.Thread(target=submitter, args=(tid,), daemon=True)
+        for tid in range(THREADS)
+    ]
+    try:
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(RESULT_TIMEOUT_S)
+        assert not errors
+        assert all(not t.is_alive() for t in threads)
+
+        flat = [pair for per_thread in submissions for pair in per_thread]
+        assert len(flat) == THREADS * PER_THREAD
+
+        served = shed = 0
+        for key, future in flat:
+            reply = future.result(RESULT_TIMEOUT_S)  # exactly one reply each
+            if isinstance(reply, Rejected):
+                # The only legal shed reason here: the pool is healthy and
+                # the gateway is open, so overload is the only cause.
+                assert reply.reason == SHED_QUEUE_FULL
+                shed += 1
+            else:
+                assert_bit_identical(reply, references[key])
+                served += 1
+        stats = gateway.stats()
+    finally:
+        gateway.close()
+
+    total = THREADS * PER_THREAD
+    # Conservation: the gateway's books match what the clients saw.
+    assert served + shed == total
+    assert stats.submitted == total
+    assert stats.accepted == served and stats.shed == shed
+    assert stats.completed == served and stats.failed == 0
+    assert stats.in_flight == 0
+    assert stats.shed_by_model["bin"] + stats.shed_by_model["pool"] == shed
+
+    # Batch mass: executed batch sizes sum to the served batch factors.
+    served_factors = sum(
+        key[1]
+        for key, future in flat
+        if not isinstance(future.result(0), Rejected)
+    )
+    batch_mass = sum(size * n for size, n in stats.batch_histogram.items())
+    assert batch_mass == served_factors
+    assert sum(stats.batch_histogram.values()) == stats.batches
+    assert max(stats.batch_histogram) <= 4  # never exceeds max_batch
+    assert stats.p50_ms <= stats.p95_ms <= stats.p99_ms
+    assert stats.verified is True
+
+    # Post-close the queues are empty and both pools are intact.
+    assert stats.queue_depth == {"bin": 0, "pool": 0}
+    assert stats.replicas_healthy == {"bin": 2, "pool": 2}
+
+
+def test_second_seed_changes_mix_not_invariants(rng):
+    """A different seed produces a different traffic mix (sanity that the
+    fuzz is actually seeded), while the same conservation law holds —
+    covered by the parametrized cells above; here we just pin the seeded
+    submitter streams themselves."""
+    a = np.random.default_rng(1000)
+    b = np.random.default_rng(1000)
+    c = np.random.default_rng(2000)
+    draws_a = [int(a.integers(4)) for _ in range(50)]
+    draws_b = [int(b.integers(4)) for _ in range(50)]
+    draws_c = [int(c.integers(4)) for _ in range(50)]
+    assert draws_a == draws_b
+    assert draws_a != draws_c

@@ -1,0 +1,433 @@
+"""Gateway behavior under a deterministic clock: batching, shedding, close.
+
+Every deadline in here is virtual — the tests drive the batcher through
+``tests/fake_clock.FakeClock`` and never sleep on the wall clock.  The
+bit-identity oracle is the same one the runtime parity suite uses:
+``reference_outputs`` (concatenated per-group Executor runs).
+"""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+import pytest
+from fake_clock import FakeClock
+from test_runtime_parity import (
+    _batched_input,
+    _binary_net,
+    assert_bit_identical,
+    reference_outputs,
+)
+
+from repro.core.types import Padding
+from repro.runtime.engine import Engine
+from repro.runtime.scheduler import (
+    SCHEDULERS,
+    GreedyCoalescer,
+    LeastLoadedScheduler,
+    RoundRobinScheduler,
+)
+from repro.serving import (
+    SHED_CLOSED,
+    SHED_QUEUE_FULL,
+    SHED_UNKNOWN_MODEL,
+    Clock,
+    Gateway,
+    GatewayConfig,
+    MonotonicClock,
+    Rejected,
+    generate_arrivals,
+)
+
+pytestmark = pytest.mark.serving
+
+RESULT_TIMEOUT_S = 20.0
+
+
+@pytest.fixture
+def graph(rng):
+    return _binary_net(rng, Padding.SAME_ONE)
+
+
+def make_gateway(graph, clock, **overrides):
+    defaults = dict(max_batch=4, deadline_ms=100.0, max_queue=16, replicas=1)
+    defaults.update(overrides)
+    return Gateway({"m": graph}, GatewayConfig(**defaults), clock=clock)
+
+
+# ------------------------------------------------------------ clock seam
+
+
+def test_clocks_satisfy_protocol():
+    assert isinstance(MonotonicClock(), Clock)
+    assert isinstance(FakeClock(), Clock)
+
+
+def test_fake_clock_sleep_wakes_on_advance():
+    clock = FakeClock()
+    done = threading.Event()
+
+    def sleeper():
+        clock.sleep(5.0)
+        done.set()
+
+    t = threading.Thread(target=sleeper, daemon=True)
+    t.start()
+    clock.wait_for_sleepers(1)
+    clock.advance(4.9)
+    assert not done.wait(0.05)  # virtual deadline not reached yet
+    clock.advance(0.2)
+    assert done.wait(RESULT_TIMEOUT_S)
+    t.join(RESULT_TIMEOUT_S)
+    assert clock.now() == pytest.approx(5.1)
+    assert clock.sleepers == 0
+
+
+def test_fake_clock_timed_wait_expires_on_advance():
+    clock = FakeClock()
+    cond = threading.Condition()
+    woke = threading.Event()
+
+    def waiter():
+        with cond:
+            clock.wait(cond, 2.0)
+        woke.set()
+
+    t = threading.Thread(target=waiter, daemon=True)
+    t.start()
+    clock.wait_for_timed_waiters(1)
+    assert not woke.is_set()
+    clock.advance(2.0)
+    assert woke.wait(RESULT_TIMEOUT_S)
+    t.join(RESULT_TIMEOUT_S)
+    assert clock.timed_waiters == 0
+
+
+# ------------------------------------------------- deadline vs size flush
+
+
+def test_deadline_flushes_partial_batch(graph, rng):
+    clock = FakeClock()
+    x = _batched_input(graph, 1, rng)
+    expected = reference_outputs(graph, (x,), 1)
+    with make_gateway(graph, clock) as gw:
+        future = gw.submit("m", x)
+        # The batcher armed the 100 ms deadline and is parked on it; the
+        # batch is not full, so nothing may flush until time moves.
+        clock.wait_for_timed_waiters(1)
+        assert not future.done()
+        clock.advance(0.2)
+        assert_bit_identical(future.result(RESULT_TIMEOUT_S), expected)
+        stats = gw.stats()
+    assert stats.batch_histogram == {1: 1}
+    assert (stats.submitted, stats.accepted, stats.completed) == (1, 1, 1)
+    # Latency is measured on the same virtual clock: submit at t=0,
+    # flushed at t=0.2 -> exactly 200 ms, which pins the percentile math.
+    assert stats.p50_ms == stats.p99_ms == pytest.approx(200.0)
+
+
+def test_full_batch_flushes_without_time_passing(graph, rng):
+    clock = FakeClock()
+    x = _batched_input(graph, 1, rng)
+    expected = reference_outputs(graph, (x,), 1)
+    with make_gateway(graph, clock, max_batch=2, deadline_ms=1000.0) as gw:
+        futures = [gw.submit("m", x) for _ in range(2)]
+        for future in futures:  # flushes on size; no advance() ever happens
+            assert_bit_identical(future.result(RESULT_TIMEOUT_S), expected)
+        stats = gw.stats()
+    assert clock.now() == 0.0
+    assert stats.batch_histogram == {2: 1}
+
+
+def test_deadline_counts_from_oldest_request(graph, rng):
+    clock = FakeClock()
+    x = _batched_input(graph, 1, rng)
+    with make_gateway(graph, clock) as gw:
+        f1 = gw.submit("m", x)
+        clock.wait_for_timed_waiters(1)
+        generation = clock.registrations
+        clock.advance(0.06)  # 60 ms into the 100 ms deadline: no expiry
+        f2 = gw.submit("m", x)  # must NOT reset the deadline
+        # The enqueue woke the batcher; it re-armed with the REMAINING
+        # 40 ms of f1's deadline (a fresh registration proves it).
+        clock.wait_for_registrations(generation + 1)
+        assert not f1.done() and not f2.done()
+        clock.advance(0.05)  # 110 ms after f1: expired for the pair
+        f1.result(RESULT_TIMEOUT_S)
+        f2.result(RESULT_TIMEOUT_S)
+        stats = gw.stats()
+    # Both requests left in ONE batch at the oldest request's deadline.
+    assert stats.batch_histogram == {2: 1}
+
+
+def test_mixed_factors_coalesce_to_full_batch(graph, rng):
+    clock = FakeClock()
+    x2 = _batched_input(graph, 2, rng)
+    x1 = _batched_input(graph, 1, rng)
+    with make_gateway(graph, clock, max_batch=4) as gw:
+        f_a = gw.submit("m", x2)
+        f_b = gw.submit("m", x1)
+        f_c = gw.submit("m", x1)
+        assert_bit_identical(
+            f_a.result(RESULT_TIMEOUT_S), reference_outputs(graph, (x2,), 2)
+        )
+        for f in (f_b, f_c):
+            assert_bit_identical(
+                f.result(RESULT_TIMEOUT_S), reference_outputs(graph, (x1,), 1)
+            )
+        stats = gw.stats()
+    assert stats.batch_histogram == {4: 1}
+    assert stats.mean_batch_size == pytest.approx(4.0)
+
+
+def test_oversize_request_runs_alone(graph, rng):
+    clock = FakeClock()
+    x3 = _batched_input(graph, 3, rng)
+    with make_gateway(graph, clock, max_batch=2) as gw:
+        future = gw.submit("m", x3)
+        assert_bit_identical(
+            future.result(RESULT_TIMEOUT_S), reference_outputs(graph, (x3,), 3)
+        )
+        stats = gw.stats()
+    assert stats.batch_histogram == {3: 1}
+
+
+# --------------------------------------------------- admission + shedding
+
+
+class StallEngine:
+    """Engine wrapper whose run_many blocks until the test releases it."""
+
+    def __init__(self, engine: Engine, started: threading.Event,
+                 release: threading.Event) -> None:
+        self._engine = engine
+        self._started = started
+        self._release = release
+
+    def __getattr__(self, name):
+        return getattr(self._engine, name)
+
+    def run_many(self, requests):
+        self._started.set()
+        if not self._release.wait(30.0):
+            raise TimeoutError("StallEngine never released")
+        return self._engine.run_many(requests)
+
+
+def test_overload_sheds_with_bounded_queue(graph, rng):
+    """Under overload the gateway sheds (typed), never grows the queue.
+
+    max_batch=1 means every request flushes immediately with no deadline
+    wait, so the FakeClock never needs advancing — the overload state is
+    constructed, not raced: one request stalled inside the replica, one
+    parked in dispatch, ``max_queue`` queued, and the next one is shed.
+    """
+    clock = FakeClock()
+    started, release = threading.Event(), threading.Event()
+    config = GatewayConfig(max_batch=1, deadline_ms=100.0, max_queue=2, replicas=1)
+    gw = Gateway(
+        {"m": graph},
+        config,
+        clock=clock,
+        engine_factory=lambda *a, **k: StallEngine(Engine(*a, **k), started, release),
+    )
+    x = _batched_input(graph, 1, rng)
+    expected = reference_outputs(graph, (x,), 1)
+    try:
+        f_a = gw.submit("m", x)
+        assert started.wait(RESULT_TIMEOUT_S)  # A is inside the replica
+        f_b = gw.submit("m", x)  # taken by the batcher, parked in dispatch
+        clock.wait_for(lambda: gw.server("m").queue_depth() == 0)
+        f_c = gw.submit("m", x)
+        f_d = gw.submit("m", x)  # queue now holds max_queue=2
+        assert gw.server("m").queue_depth() == 2
+        f_e = gw.submit("m", x)  # bounced at admission
+        reply = f_e.result(0.5)
+        assert reply == Rejected("m", SHED_QUEUE_FULL)
+        stats = gw.stats()
+        assert stats.shed == 1 and stats.queue_depth["m"] <= config.max_queue
+        release.set()
+        for f in (f_a, f_b, f_c, f_d):
+            assert_bit_identical(f.result(RESULT_TIMEOUT_S), expected)
+    finally:
+        release.set()
+        gw.close()
+    stats = gw.stats()
+    assert (stats.submitted, stats.accepted, stats.shed) == (5, 4, 1)
+    assert (stats.completed, stats.failed, stats.in_flight) == (4, 0, 0)
+    assert stats.batch_histogram == {1: 4}
+
+
+def test_unknown_model_is_typed_shed(graph):
+    clock = FakeClock()
+    with make_gateway(graph, clock) as gw:
+        reply = gw.submit("nope", np.zeros((1,), np.float32)).result(0.5)
+        assert isinstance(reply, Rejected)
+        assert reply.reason == SHED_UNKNOWN_MODEL and reply.model == "nope"
+        stats = gw.stats()
+    assert (stats.submitted, stats.shed, stats.accepted) == (1, 1, 0)
+
+
+def test_submit_after_close_is_typed_shed(graph, rng):
+    clock = FakeClock()
+    gw = make_gateway(graph, clock)
+    x = _batched_input(graph, 1, rng)
+    gw.close()
+    reply = gw.submit("m", x).result(0.5)
+    assert isinstance(reply, Rejected) and reply.reason == SHED_CLOSED
+
+
+def test_malformed_input_raises_synchronously(graph):
+    clock = FakeClock()
+    with make_gateway(graph, clock) as gw:
+        with pytest.raises(ValueError):  # wrong arity
+            gw.submit("m", np.zeros((1, 8, 8, 8), np.float32), np.zeros(3))
+        with pytest.raises(ValueError):  # empty batch
+            gw.submit("m", np.zeros((0, 8, 8, 8), np.float32))
+        stats = gw.stats()
+    assert stats.submitted == 0  # rejected before admission accounting
+
+
+def test_close_drains_admitted_requests(graph, rng):
+    """close() cuts the deadline short and answers everything admitted."""
+    clock = FakeClock()
+    x = _batched_input(graph, 1, rng)
+    expected = reference_outputs(graph, (x,), 1)
+    gw = make_gateway(graph, clock, max_batch=8, deadline_ms=1000.0)
+    f1 = gw.submit("m", x)
+    f2 = gw.submit("m", x)
+    clock.wait_for_timed_waiters(1)
+    gw.close()  # no advance(): the drain must not depend on time
+    for f in (f1, f2):
+        assert_bit_identical(f.result(RESULT_TIMEOUT_S), expected)
+    stats = gw.stats()
+    assert stats.completed == 2 and stats.in_flight == 0
+    gw.close()  # idempotent
+
+
+# ------------------------------------------------------- tracing + stats
+
+
+def test_gateway_spans_nest_engine_spans(graph, rng):
+    from repro.obs.trace import Tracer
+
+    tracer = Tracer()
+    clock = FakeClock()
+    x = _batched_input(graph, 1, rng)
+    gw = Gateway(
+        {"m": graph},
+        GatewayConfig(max_batch=1, deadline_ms=100.0),
+        clock=clock,
+        trace=tracer,
+    )
+    try:
+        gw.submit("m", x).result(RESULT_TIMEOUT_S)
+    finally:
+        gw.close()
+    spans = tracer.spans()
+    names = {s.name for s in spans}
+    assert {"gateway.submit", "gateway.flush"} <= names
+    flush_children = [s for s in spans if "gateway.flush" in s.path]
+    assert any(s.name == "engine.run_many" for s in flush_children)
+
+
+def test_stats_snapshot_is_consistent(graph, rng):
+    clock = FakeClock()
+    x = _batched_input(graph, 1, rng)
+    with make_gateway(graph, clock, max_batch=1) as gw:
+        for _ in range(3):
+            gw.submit("m", x).result(RESULT_TIMEOUT_S)
+        stats = gw.stats()
+        snap = gw.metrics_snapshot()
+    assert stats.submitted == stats.accepted + stats.shed
+    assert stats.accepted == stats.completed + stats.failed
+    assert stats.verified is True
+    assert sum(stats.batch_histogram.values()) == stats.batches
+    assert snap["gateway.m.accepted"] == stats.accepted
+    assert snap["gateway.m.queue_depth"] == 0
+    assert snap["gateway.m.replicas_healthy"] == 1
+
+
+# ------------------------------------------------------ policy unit tests
+
+
+def test_round_robin_scheduler_cycles():
+    rr = RoundRobinScheduler()
+    picks = []
+    for _ in range(4):
+        rid = rr.pick([0, 1])
+        rr.record(rid)
+        picks.append(rid)
+    assert picks == [0, 1, 0, 1]
+    # With only one candidate idle it must still pick it.
+    rid = rr.pick([1])
+    assert rid == 1
+
+
+def test_least_loaded_scheduler_balances():
+    ll = LeastLoadedScheduler()
+    first = ll.pick([0, 1])
+    ll.record(first)
+    second = ll.pick([0, 1])
+    assert second != first
+    ll.record(second)
+    ll.record(second)
+    assert ll.pick([first, second]) == first
+
+
+def test_scheduler_registry_matches_config():
+    for name in SCHEDULERS:
+        GatewayConfig(scheduler=name).validate()
+    with pytest.raises(ValueError):
+        GatewayConfig(scheduler="fifo").validate()
+
+
+def test_greedy_coalescer_chunks():
+    c = GreedyCoalescer()
+    chunks = c.coalesce([("a", 2), ("b", 1), ("c", 2)], max_batch=4)
+    assert [[x for x, _ in chunk] for chunk in chunks] == [["a", "b"], ["c"]]
+    assert c.coalesce([("x", 5)], max_batch=4) == [[("x", 5)]]
+
+
+@pytest.mark.parametrize(
+    "kwargs",
+    [
+        dict(max_batch=0),
+        dict(deadline_ms=-1.0),
+        dict(max_queue=0),
+        dict(replicas=0),
+        dict(max_replica_failures=0),
+    ],
+)
+def test_config_validation_rejects(kwargs):
+    with pytest.raises(ValueError):
+        GatewayConfig(**kwargs).validate()
+
+
+# --------------------------------------------------- loadgen determinism
+
+
+def test_generate_arrivals_is_seed_deterministic():
+    profile = [("a", 3.0), ("b", 1.0), ("zero", 0.0)]
+    first = generate_arrivals(profile, 50.0, 2.0, np.random.default_rng(7))
+    second = generate_arrivals(profile, 50.0, 2.0, np.random.default_rng(7))
+    assert first == second
+    other = generate_arrivals(profile, 50.0, 2.0, np.random.default_rng(8))
+    assert first != other
+    times = [a.at_s for a in first]
+    assert times == sorted(times) and all(0 < t < 2.0 for t in times)
+    assert {a.model for a in first} <= {"a", "b"}  # zero weight never drawn
+    assert len(first) > 50  # ~100 expected at 50 rps over 2 s
+
+
+def test_generate_arrivals_validates():
+    rng = np.random.default_rng(0)
+    with pytest.raises(ValueError):
+        generate_arrivals([("a", 1.0)], 0.0, 1.0, rng)
+    with pytest.raises(ValueError):
+        generate_arrivals([("a", 1.0)], 10.0, 0.0, rng)
+    with pytest.raises(ValueError):
+        generate_arrivals([], 10.0, 1.0, rng)
+    with pytest.raises(ValueError):
+        generate_arrivals([("a", -1.0)], 10.0, 1.0, rng)
