@@ -1,6 +1,6 @@
 # Convenience targets for the LCE reproduction.
 
-.PHONY: test test-fast test-slow test-serving lint analyze check trace-smoke serve-smoke bench bench-fast bench-serving experiments appendix extensions examples all
+.PHONY: test test-fast test-slow test-serving lint analyze check trace-smoke serve-smoke calibrate-smoke bench bench-fast bench-serving experiments appendix extensions examples all
 
 test:
 	pytest tests/
@@ -15,7 +15,7 @@ lint:
 analyze:
 	PYTHONPATH=src python -m repro.cli analyze
 
-check: lint analyze test-fast test-serving trace-smoke serve-smoke
+check: lint analyze test-fast test-serving trace-smoke serve-smoke calibrate-smoke
 
 # End-to-end observability smoke: trace a QuickNet-small engine run,
 # schema-validate the Chrome-trace export, and print the unified metrics
@@ -39,6 +39,16 @@ test-slow:
 # deadline/fault/conservation tests, minus the multi-seed stress cells.
 test-serving:
 	pytest tests/ -m "serving and not slow"
+
+# Calibration gate: fit a device profile from traced QuickNet-small
+# engine runs and fail when the fitted model's median per-node
+# predicted-vs-measured error exceeds the 15% budget, then round-trip the
+# artifact through ``profiles show``.
+calibrate-smoke:
+	PYTHONPATH=src python -m repro.cli calibrate --models quicknet_small \
+		--input-size 32 --repeats 15 --budget 15 \
+		--out /tmp/repro-profile-smoke.json
+	PYTHONPATH=src python -m repro.cli profiles show /tmp/repro-profile-smoke.json
 
 # End-to-end serving smoke: a short loadgen sweep through the gateway,
 # schema-validating BENCH_serving.json and the exported Chrome trace.

@@ -21,6 +21,7 @@ import numpy as np
 import pytest
 from conftest import run_once
 
+from repro.analysis.bench import validate_bench_engine
 from repro.converter import convert
 from repro.graph.executor import Executor
 from repro.runtime import Engine
@@ -61,7 +62,9 @@ def _serving_comparison():
         with Engine(model, num_threads=1, max_batch_size=batch) as engine:
             executor_s = _measure(executor_serve)
             engine_s = _measure(lambda: engine.run_many(samples))
-            verified = engine.stats().verified
+            stats = engine.stats()
+            verified = stats.verified
+            profile_id = stats.profile_id
             metrics = engine.metrics_snapshot()
         rows.append(
             {
@@ -73,12 +76,12 @@ def _serving_comparison():
             }
         )
     # metrics: unified-registry snapshot of the last (largest-batch) engine
-    return rows, metrics
+    return rows, metrics, profile_id
 
 
 @pytest.mark.benchmark(group="engine-vs-executor")
 def test_engine_beats_executor_at_batch(benchmark):
-    rows, metrics = run_once(benchmark, _serving_comparison)
+    rows, metrics, profile_id = run_once(benchmark, _serving_comparison)
     print("\nQuickNet-small (64px), per-call Executor vs Engine.run_many:")
     for row in rows:
         print(
@@ -87,10 +90,13 @@ def test_engine_beats_executor_at_batch(benchmark):
             f"{row['engine_ms_per_sample']:.2f} ms/sample "
             f"({row['speedup']:.2f}x)"
         )
-    BENCH_JSON.write_text(json.dumps({
+    bench = {
         "suite": "engine_vs_executor",
         "model": "quicknet_small@64",
         "verified": all(row["verified"] for row in rows),
+        # The cost model in force on the engines ('default' when no
+        # calibrated DeviceProfile was supplied).
+        "device_profile": profile_id,
         # Unified-registry snapshot (engine + process-wide cache gauges)
         # from the largest-batch engine, so the numbers are attributable.
         "metrics": metrics,
@@ -99,7 +105,9 @@ def test_engine_beats_executor_at_batch(benchmark):
              for k, v in row.items()}
             for row in rows
         ],
-    }, indent=2) + "\n")
+    }
+    assert validate_bench_engine(bench) == []
+    BENCH_JSON.write_text(json.dumps(bench, indent=2) + "\n")
     # Perf numbers must come from analysis-verified plans.
     assert all(row["verified"] for row in rows)
     # Acceptance criteria: the batched engine wins at batch >= 4, and by a

@@ -28,6 +28,7 @@ from repro.core.im2col import conv_geometry
 from repro.core.indirection import get_indirection, im2col_indirect
 from repro.core.quantize_ops import lce_quantize
 from repro.core.types import Padding
+from repro.analysis.bench import validate_bench_kernels
 from repro.core.workspace import WorkspacePool
 from repro.obs.metrics import global_registry
 
@@ -158,19 +159,24 @@ def test_quicknet_plan_vs_dynamic(benchmark):
             })
 
     speedup = dynamic_total / plan_total
-    BENCH_JSON.write_text(json.dumps({
+    bench = {
         "suite": "kernel_microbench",
         "quicknet_small_speedup": round(speedup, 3),
         "speedup_floor": SPEEDUP_FLOOR,
         # Reached only after every per-shape bit-exactness assert above
         # passed: the timed plan path provably computes the same values.
         "verified": True,
+        # These kernels run raw (no Engine, no calibrated pricing), so the
+        # cost model in force is the builtin default profile.
+        "device_profile": "default",
         # Process-wide cache state behind the numbers (indirection /
         # geometry gauges from the unified metrics registry), so the perf
         # history records what was amortized.
         "metrics": global_registry().snapshot(),
         "kernels": records,
-    }, indent=2) + "\n")
+    }
+    assert validate_bench_kernels(bench) == []
+    BENCH_JSON.write_text(json.dumps(bench, indent=2) + "\n")
 
     # Surface the steady-state plan path in the pytest-benchmark table too.
     h, w, c = QUICKNET_SMALL_SHAPES[-1]

@@ -8,6 +8,7 @@ and the *static-analysis subsystem* — a graph dataflow verifier
 (:mod:`repro.analysis.diagnostics`).  See docs/architecture.md §8.
 """
 
+from repro.analysis.bench import validate_bench_engine, validate_bench_kernels
 from repro.analysis.dataflow import analyze_graph, check_graph
 from repro.analysis.diagnostics import (
     RULES,
@@ -48,4 +49,6 @@ __all__ = [
     "model_summary",
     "search",
     "speedup_stats",
+    "validate_bench_engine",
+    "validate_bench_kernels",
 ]

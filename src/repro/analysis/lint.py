@@ -20,16 +20,19 @@ and L004 trailing whitespace.
   schema, shape inference, a kernel factory and a cost hook (or an entry
   in ``COST_EXEMPT_OPS``) — checked at lint time, not first use.
 - L103: module-level mutable caches in ``core/``/``runtime/``/``obs/``/
-  ``serving/`` mutated from functions require a module-level
-  ``threading.Lock``/``RLock`` (the ``core.indirection`` memoization
-  idiom).
+  ``serving/`` (plus ``hw/calibrate.py``) mutated from functions require
+  a module-level ``threading.Lock``/``RLock`` (the ``core.indirection``
+  memoization idiom).
 - L104: compiled-plan and serving paths (``core/``, ``runtime/``,
-  ``ops/``, ``obs/``, ``serving/``) must be deterministic: no
-  ``np.random``/``random``/``secrets``/``os.urandom`` and no wall-clock
-  ``time.time`` (monotonic timers are fine).  The tracer's single
-  recording-boundary wall-clock anchor in ``obs/trace.py`` and the
-  serving bench's seeded-generator boundary in ``serving/bench.py``
-  carry justified ``allow[L104]`` suppressions.
+  ``ops/``, ``obs/``, ``serving/``, plus ``hw/calibrate.py`` — the
+  calibration recorder drives the engine and must be as deterministic as
+  the runtime it measures) must not use ``np.random``/``random``/
+  ``secrets``/``os.urandom`` or wall-clock ``time.time`` (monotonic
+  timers are fine).  The tracer's single recording-boundary wall-clock
+  anchor in ``obs/trace.py``, the serving bench's seeded-generator
+  boundary in ``serving/bench.py`` and the calibration input-data
+  generator in ``hw/calibrate.py`` carry justified ``allow[L104]``
+  suppressions.
 
 Suppression: append ``# repro: allow[L101] <justification>`` to the
 offending line.  A suppression without a justification is itself an error
@@ -69,12 +72,30 @@ def _segments(path: pathlib.Path) -> frozenset[str]:
     return frozenset(path.parts)
 
 
+#: hw/ is analytic (pure math on specs) except the calibration recorder,
+#: which drives the engine and is held to the runtime's cache/determinism
+#: contracts
+_HW_CONTRACT_FILES = frozenset({"calibrate.py"})
+
+
+def _hw_contract_file(path: pathlib.Path) -> bool:
+    return "hw" in _segments(path) and path.name in _HW_CONTRACT_FILES
+
+
 def _in_core(path: pathlib.Path) -> bool:
     return bool(_segments(path) & {"core", "serving"})
 
 
+def _needs_cache_guard(path: pathlib.Path) -> bool:
+    return bool(
+        _segments(path) & {"core", "runtime", "obs", "serving"}
+    ) or _hw_contract_file(path)
+
+
 def _in_plan_path(path: pathlib.Path) -> bool:
-    return bool(_segments(path) & {"core", "runtime", "ops", "obs", "serving"})
+    return bool(
+        _segments(path) & {"core", "runtime", "ops", "obs", "serving"}
+    ) or _hw_contract_file(path)
 
 
 # ------------------------------------------------------------- suppression
@@ -477,7 +498,7 @@ def lint_file(
         diags.extend(_style_rules(tree, text, loc))
     if _in_core(path):
         diags.extend(_kernel_alloc_rule(tree, loc))
-    if _segments(path) & {"core", "runtime", "obs", "serving"}:
+    if _needs_cache_guard(path):
         diags.extend(_cache_guard_rule(tree, loc))
     if _in_plan_path(path):
         diags.extend(_nondeterminism_rule(tree, loc))

@@ -14,10 +14,15 @@ The deployment-side tooling a released inference engine ships with::
     python -m repro stats     --model quicknet_small
     python -m repro serve     --models quicknet_small --requests 32
     python -m repro loadgen   --rates 20 60 120 --out BENCH_serving.json
+    python -m repro calibrate --out profile.json --budget 15
+    python -m repro profiles  list|show|diff ...
 
 ``--engine`` switches benchmark/profile from the analytical device model to
 *measured* wall-clock through :class:`repro.runtime.Engine` (compiled
 plans, prepacked-weight cache, threaded BGEMM, batched execution).
+``--profile PATH`` makes benchmark/profile price against a trace-fitted
+:class:`repro.hw.DeviceProfile` artifact (from ``repro calibrate``)
+instead of the builtin constants, and steers ``--engine`` plan scheduling.
 """
 
 from __future__ import annotations
@@ -31,7 +36,14 @@ import numpy as np
 from repro.analysis.summary import format_summary
 from repro.converter import convert
 from repro.graph.serialization import save_model
-from repro.hw.device import DeviceModel
+from repro.hw.device import (
+    DeviceModel,
+    ProfileError,
+    diff_profiles,
+    list_profiles,
+    load_profile,
+    save_profile,
+)
 from repro.hw.latency import graph_latency
 from repro.obs import format_snapshot
 from repro.profiling import (
@@ -60,6 +72,31 @@ def _add_device_arg(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_profile_arg(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--profile", default=None, metavar="PATH",
+        help="price against a trace-fitted device-profile artifact "
+        "(JSON written by `repro calibrate`) instead of the builtin "
+        "device constants; with --engine it also steers plan scheduling",
+    )
+
+
+def _resolve_profile(args, command: str):
+    """Load ``--profile`` if given, or fail with a typed non-zero exit.
+
+    Returns ``(profile_or_None, exit_code)`` — a schema-invalid, missing
+    or malformed artifact reports every problem on stderr and exits 2
+    instead of surfacing a traceback.
+    """
+    if getattr(args, "profile", None) is None:
+        return None, 0
+    try:
+        return load_profile(args.profile), 0
+    except ProfileError as exc:
+        print(f"{command}: {exc}", file=sys.stderr)
+        return None, 2
+
+
 def _build_converted(args):
     graph = build_model(args.model, input_size=args.input_size)
     return convert(graph, in_place=True)
@@ -73,19 +110,25 @@ def _engine_input(graph, batch: int) -> np.ndarray:
 
 
 def cmd_benchmark(args) -> int:
+    profile, rc = _resolve_profile(args, "benchmark")
+    if rc:
+        return rc
     model = _build_converted(args)
     if args.engine:
-        return _benchmark_engine(args, model)
-    device = DeviceModel.by_name(args.device)
+        return _benchmark_engine(args, model, profile)
+    device = profile if profile is not None else DeviceModel.by_name(args.device)
     latency = graph_latency(device, model.graph, threads=args.threads)
+    pricing = (
+        f"profile {profile.name!r}" if profile is not None else args.device
+    )
     print(
-        f"{args.model} on {args.device} ({args.threads} thread"
+        f"{args.model} on {pricing} ({args.threads} thread"
         f"{'s' if args.threads > 1 else ''}): {latency.total_ms:.1f} ms"
     )
     return 0
 
 
-def _benchmark_engine(args, model) -> int:
+def _benchmark_engine(args, model, profile=None) -> int:
     from repro.runtime import Engine
 
     if args.threads < 1:
@@ -98,7 +141,8 @@ def _benchmark_engine(args, model) -> int:
         print("benchmark --engine: --repeats must be >= 1", file=sys.stderr)
         return 2
     with Engine(
-        model, num_threads=args.threads, max_batch_size=args.batch
+        model, num_threads=args.threads, max_batch_size=args.batch,
+        profile=profile,
     ) as engine:
         x = _engine_input(engine.graph, args.batch)
         engine.run(x)  # warm-up: compiles the plan, fills the weight cache
@@ -121,7 +165,9 @@ def _benchmark_engine(args, model) -> int:
         f"{stats.param_cache_misses} misses; "
         f"plan cache hit rate {stats.plan_cache_hit_rate:.0%}; "
         f"batch histogram {dict(sorted(stats.batch_histogram.items()))}; "
-        f"verified: {str(stats.verified).lower()}"
+        f"verified: {str(stats.verified).lower()}; "
+        f"profile: {stats.profile_id} "
+        f"({stats.scheduled_nodes} scheduled nodes)"
     )
     print("  " + memory.describe())
     print("  metrics snapshot:")
@@ -130,15 +176,18 @@ def _benchmark_engine(args, model) -> int:
 
 
 def cmd_profile(args) -> int:
+    profile, rc = _resolve_profile(args, "profile")
+    if rc:
+        return rc
     model = _build_converted(args)
-    device = DeviceModel.by_name(args.device)
+    device = profile if profile is not None else DeviceModel.by_name(args.device)
     if args.engine:
         from repro.runtime import Engine
 
         if args.threads < 1:
             print("profile --engine: --threads must be >= 1", file=sys.stderr)
             return 2
-        with Engine(model, num_threads=args.threads) as engine:
+        with Engine(model, num_threads=args.threads, profile=profile) as engine:
             profiles = profile_engine(device, engine)
             memory = memory_profile(engine)
             verified = engine.stats().verified
@@ -151,7 +200,10 @@ def cmd_profile(args) -> int:
     else:
         profiles = profile_graph(device, model.graph)
         total = sum(p.simulated_s for p in profiles)
-        print(f"{args.model} on {args.device}: {total * 1e3:.1f} ms\n")
+        pricing = (
+            f"profile {profile.name!r}" if profile is not None else args.device
+        )
+        print(f"{args.model} on {pricing}: {total * 1e3:.1f} ms\n")
     for row in quicknet_table4_rows(profiles):
         print(f"  {row.op_class:<38} {row.share_percent:6.2f}%")
     return 0
@@ -486,6 +538,109 @@ def cmd_experiments(args) -> int:
     return 0
 
 
+def cmd_calibrate(args) -> int:
+    from repro.hw.calibrate import calibrate
+
+    if args.repeats < 1:
+        print("calibrate: --repeats must be >= 1", file=sys.stderr)
+        return 2
+    if args.threads < 1:
+        print("calibrate: --threads must be >= 1", file=sys.stderr)
+        return 2
+    profile = calibrate(
+        models=tuple(args.models),
+        input_size=args.input_size,
+        repeats=args.repeats,
+        threads=args.threads,
+        base=args.device,
+        name=args.name,
+        seed=args.seed,
+    )
+    path = save_profile(profile, args.out)
+    fit = profile.fit
+    print(
+        f"calibrated {profile.name!r} against {profile.device.name}: "
+        f"{fit.samples} samples from {', '.join(fit.models)} "
+        f"(input {fit.input_size}, {fit.repeats} repeats)"
+    )
+    print(
+        f"  |error| median {fit.median_abs_pct_error:.2f}%  "
+        f"mean {fit.mean_abs_pct_error:.2f}%  max {fit.max_abs_pct_error:.2f}%"
+    )
+    print(f"  wrote {path}")
+    if args.budget is not None and fit.median_abs_pct_error > args.budget:
+        print(
+            f"calibrate: median per-node error {fit.median_abs_pct_error:.2f}% "
+            f"exceeds budget {args.budget:.2f}%",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+def cmd_profiles(args) -> int:
+    if args.action == "list":
+        rows = list_profiles(args.dir)
+        if not rows:
+            print(f"no device profiles under {args.dir}")
+            return 0
+        for row in rows:
+            if "problems" in row:
+                print(f"{row['path']}: INVALID: {'; '.join(row['problems'])}")
+                continue
+            err = row["median_abs_pct_error"]
+            print(
+                f"{row['path']}: {row['name']} on {row['device']}, "
+                f"calibrated={str(row['calibrated']).lower()}, "
+                f"samples={row['samples']}, "
+                f"median |error| "
+                f"{'n/a' if err is None else f'{err:.2f}%'}"
+            )
+        return 0
+
+    try:
+        profile = load_profile(args.path)
+        if args.action == "diff":
+            other = load_profile(args.other)
+    except ProfileError as exc:
+        print(f"profiles {args.action}: {exc}", file=sys.stderr)
+        return 2
+
+    if args.action == "show":
+        print(f"{profile.name} (schema v{profile.schema_version})")
+        print(f"  device: {profile.device.name}")
+        print(f"  calibrated: {str(profile.is_calibrated).lower()}")
+        for label, mapping in (
+            ("class factors", profile.class_factors),
+            ("class overhead", profile.class_overhead_s),
+            ("op factors", profile.op_factors),
+            ("op overhead", profile.op_overhead_s),
+        ):
+            for key in sorted(mapping):
+                print(f"  {label}[{key}] = {mapping[key]:.6g}")
+        if profile.fit is not None:
+            fit = profile.fit
+            print(
+                f"  fit: {fit.samples} samples from {', '.join(fit.models)} "
+                f"(input {fit.input_size}, {fit.repeats} repeats, "
+                f"{fit.threads} threads)"
+            )
+            print(
+                f"  |error| median {fit.median_abs_pct_error:.2f}%  "
+                f"mean {fit.mean_abs_pct_error:.2f}%  "
+                f"max {fit.max_abs_pct_error:.2f}%"
+            )
+        return 0
+
+    diffs = diff_profiles(profile, other)
+    if not diffs:
+        print("profiles are identical")
+        return 0
+    for key, (va, vb) in sorted(diffs.items()):
+        print(f"{key}: {va} -> {vb}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="Larq Compute Engine reproduction tooling"
@@ -507,6 +662,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--repeats", type=int, default=3, help="timed iterations for --engine runs"
     )
+    _add_profile_arg(p)
     p.set_defaults(fn=cmd_benchmark)
 
     p = sub.add_parser("profile", help="per-operator latency breakdown")
@@ -517,6 +673,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--engine", action="store_true",
         help="measure per-node wall-clock through repro.runtime.Engine",
     )
+    _add_profile_arg(p)
     p.set_defaults(fn=cmd_profile)
 
     p = sub.add_parser("summarize", help="per-layer shapes, params and MACs")
@@ -657,6 +814,50 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--appendix", action="store_true")
     p.add_argument("--extensions", action="store_true")
     p.set_defaults(fn=cmd_experiments)
+
+    p = sub.add_parser(
+        "calibrate",
+        help="fit a device profile from traced engine runs of the zoo",
+    )
+    p.add_argument(
+        "--models", nargs="+", default=["quicknet_small"],
+        choices=sorted(MODEL_REGISTRY),
+        help="calibration workload (traced engine runs)",
+    )
+    p.add_argument("--input-size", type=int, default=32)
+    p.add_argument(
+        "--repeats", type=int, default=15,
+        help="recorded runs per model (first warm-up run is discarded)",
+    )
+    p.add_argument("--threads", type=int, default=1)
+    _add_device_arg(p)
+    p.add_argument(
+        "--name", default="calibrated", help="profile name for the artifact"
+    )
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument(
+        "--out", default="profile.json", help="artifact output path"
+    )
+    p.add_argument(
+        "--budget", type=float, default=None, metavar="PCT",
+        help="fail (exit 1) when median per-node |error| exceeds this",
+    )
+    p.set_defaults(fn=cmd_calibrate)
+
+    p = sub.add_parser(
+        "profiles", help="list / show / diff device-profile artifacts"
+    )
+    psub = p.add_subparsers(dest="action", required=True)
+    pp = psub.add_parser("list", help="summarize profiles in a directory")
+    pp.add_argument("dir", nargs="?", default=".")
+    pp.set_defaults(fn=cmd_profiles)
+    pp = psub.add_parser("show", help="print one profile artifact")
+    pp.add_argument("path")
+    pp.set_defaults(fn=cmd_profiles)
+    pp = psub.add_parser("diff", help="field-by-field profile differences")
+    pp.add_argument("path")
+    pp.add_argument("other")
+    pp.set_defaults(fn=cmd_profiles)
 
     return parser
 

@@ -14,13 +14,33 @@ substitutes an analytical model:
   cost breakdown (im2col, accumulation loop, output transformation, ...).
 - :mod:`repro.hw.frameworks` — models of competing engines (DaBNN, TVM/
   Riptide, TFLite) for the Figure 4 comparison.
+- :mod:`repro.hw.calibrate` — trace-fitted calibration: run the zoo under
+  the tracing :class:`~repro.runtime.engine.Engine`, fit per-op-class
+  factors against the measured spans, and persist the result as a
+  versioned :class:`~repro.hw.device.DeviceProfile` artifact (imported
+  lazily — it pulls in the runtime).
 
 Calibration: the free parameters in the device profiles are set once from
 the paper's anchor points (Figure 2 speedups, Table 2/5 ranges, Table 4
-operator shares) and then held fixed for every experiment.
+operator shares) and then held fixed for every experiment.  On a real
+host, :mod:`repro.hw.calibrate` closes the loop instead: the fitted
+:class:`~repro.hw.device.DeviceProfile` carries measured per-op-class
+factors, and every cost consumer prices against it.
 """
 
-from repro.hw.device import DeviceModel
+from repro.hw.device import (
+    DeviceModel,
+    DeviceProfile,
+    FitReport,
+    NodeResidual,
+    ProfileError,
+    as_profile,
+    diff_profiles,
+    list_profiles,
+    load_profile,
+    save_profile,
+    validate_profile,
+)
 from repro.hw.frameworks import FRAMEWORKS, FrameworkModel
 from repro.hw.isa import (
     BINARY_MACS_PER_CYCLE,
@@ -34,15 +54,25 @@ from repro.hw.roofline import RooflinePoint, conv_roofline, intensity_advantage
 __all__ = [
     "BINARY_MACS_PER_CYCLE",
     "DeviceModel",
+    "DeviceProfile",
     "FLOAT_MACS_PER_CYCLE",
     "FRAMEWORKS",
+    "FitReport",
     "FrameworkModel",
     "INT8_MACS_PER_CYCLE",
     "LatencyBreakdown",
+    "NodeResidual",
+    "ProfileError",
     "RooflinePoint",
+    "as_profile",
     "conv_roofline",
+    "diff_profiles",
     "graph_latency",
     "intensity_advantage",
+    "list_profiles",
+    "load_profile",
     "mac_instruction_table",
     "node_latency",
+    "save_profile",
+    "validate_profile",
 ]

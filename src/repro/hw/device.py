@@ -22,7 +22,10 @@ They are then held fixed for every experiment — the model-level results
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
+import json
+from dataclasses import asdict, dataclass, field, replace
+from pathlib import Path
+from typing import Mapping
 
 Precision = str  # "float32" | "int8" | "binary"
 
@@ -69,6 +72,9 @@ class DeviceModel:
     pool_elems_per_cycle: float
     #: int8 requantization rate, elements per cycle
     requant_elems_per_cycle: float
+    #: cost of forking/joining one extra worker thread, seconds (used by
+    #: profile-steered plan compilation to decide per-node thread counts)
+    thread_fork_s: float = 8e-6
 
     # ------------------------------------------------------------- helpers
     def cycles_to_seconds(self, cycles: float) -> float:
@@ -156,3 +162,325 @@ class DeviceModel:
             return {"pixel1": cls.pixel1, "rpi4b": cls.rpi4b}[name]()
         except KeyError:
             raise ValueError(f"unknown device {name!r}") from None
+
+
+# ============================================================ device profiles
+#
+# A :class:`DeviceProfile` is the first-class, persistable artifact the whole
+# cost stack prices against.  It bundles a :class:`DeviceModel` (the analytic
+# constants) with trace-fitted *per-op-class calibration*: a multiplicative
+# factor on the modelled work of each profiling class and an optional
+# replacement for the fixed per-op dispatch overhead.  The bundled ``default``
+# profile carries empty calibration, so estimates are bit-for-bit identical
+# to pricing against the raw :class:`DeviceModel`.
+
+PROFILE_SCHEMA = "repro.device_profile"
+PROFILE_SCHEMA_VERSION = 1
+
+
+class ProfileError(ValueError):
+    """A device-profile artifact failed schema validation or IO."""
+
+
+@dataclass(frozen=True)
+class NodeResidual:
+    """Predicted-vs-measured record for one calibration sample."""
+
+    model: str
+    node: str
+    op: str
+    op_class: str
+    measured_s: float
+    predicted_s: float
+    pct_error: float  # 100 * (predicted - measured) / measured
+
+
+@dataclass(frozen=True)
+class FitReport:
+    """Provenance and error summary of one calibration fit."""
+
+    models: tuple[str, ...]
+    input_size: int
+    repeats: int
+    threads: int
+    samples: int
+    median_abs_pct_error: float
+    mean_abs_pct_error: float
+    max_abs_pct_error: float
+    residuals: tuple[NodeResidual, ...] = ()
+
+
+@dataclass(frozen=True)
+class DeviceProfile:
+    """A device model plus trace-fitted calibration coefficients.
+
+    ``class_factors[c]`` multiplies the modelled *work* (all non-overhead
+    stages) of ops in profiling class ``c``; ``class_overhead_s[c]``
+    replaces the fixed dispatch overhead for that class.  ``op_factors``
+    and ``op_overhead_s`` refine individual ops (keyed by op name) and
+    take precedence over their class entries — profiling classes lump
+    heterogeneous ops (e.g. maxpool and depthwise conv share a Table-4
+    bucket), so the per-op fit is what meets the error budget, with the
+    class fit as the fallback for ops unseen during calibration.  Keys
+    absent from every mapping fall back to the uncalibrated model, so an
+    empty profile reproduces :class:`DeviceModel` estimates exactly.
+    """
+
+    name: str
+    device: DeviceModel
+    class_factors: Mapping[str, float] = field(default_factory=dict)
+    class_overhead_s: Mapping[str, float] = field(default_factory=dict)
+    op_factors: Mapping[str, float] = field(default_factory=dict)
+    op_overhead_s: Mapping[str, float] = field(default_factory=dict)
+    fit: FitReport | None = None
+    schema_version: int = PROFILE_SCHEMA_VERSION
+
+    # ----------------------------------------------------------- calibration
+    def factor(self, op_class: str, op: str | None = None) -> float:
+        """Work multiplier for ``op`` / ``op_class`` (1.0 when uncalibrated)."""
+        if op is not None and op in self.op_factors:
+            return float(self.op_factors[op])
+        return float(self.class_factors.get(op_class, 1.0))
+
+    def overhead_s(self, op_class: str, op: str | None = None) -> float | None:
+        """Calibrated dispatch overhead for ``op`` / ``op_class``, or
+        ``None`` to keep the device model's ``op_overhead_s``."""
+        if op is not None and op in self.op_overhead_s:
+            return float(self.op_overhead_s[op])
+        value = self.class_overhead_s.get(op_class)
+        return None if value is None else float(value)
+
+    @property
+    def is_calibrated(self) -> bool:
+        return bool(
+            self.class_factors
+            or self.class_overhead_s
+            or self.op_factors
+            or self.op_overhead_s
+        )
+
+    # ------------------------------------------------------------- factories
+    @classmethod
+    def default(cls, device: "DeviceModel | str" = "pixel1") -> "DeviceProfile":
+        """The bundled uncalibrated profile for ``device`` — estimates are
+        bit-for-bit identical to pricing against the raw device model."""
+        model = DeviceModel.by_name(device) if isinstance(device, str) else device
+        return cls(name="default", device=model)
+
+    # ---------------------------------------------------------- (de)serialise
+    def to_json(self) -> dict:
+        obj: dict = {
+            "schema": PROFILE_SCHEMA,
+            "schema_version": self.schema_version,
+            "name": self.name,
+            "device": asdict(self.device),
+            "class_factors": {k: float(v) for k, v in self.class_factors.items()},
+            "class_overhead_s": {
+                k: float(v) for k, v in self.class_overhead_s.items()
+            },
+            "op_factors": {k: float(v) for k, v in self.op_factors.items()},
+            "op_overhead_s": {k: float(v) for k, v in self.op_overhead_s.items()},
+        }
+        if self.fit is not None:
+            obj["fit"] = asdict(self.fit)
+            obj["fit"]["models"] = list(self.fit.models)
+            obj["fit"]["residuals"] = [asdict(r) for r in self.fit.residuals]
+        return obj
+
+    @classmethod
+    def from_json(cls, obj: dict) -> "DeviceProfile":
+        problems = validate_profile(obj)
+        if problems:
+            raise ProfileError(
+                "invalid device profile: " + "; ".join(problems)
+            )
+        device = DeviceModel(**obj["device"])
+        fit = None
+        if obj.get("fit") is not None:
+            f = dict(obj["fit"])
+            f["models"] = tuple(f.get("models", ()))
+            f["residuals"] = tuple(
+                NodeResidual(**r) for r in f.get("residuals", ())
+            )
+            fit = FitReport(**f)
+        return cls(
+            name=obj["name"],
+            device=device,
+            class_factors=dict(obj.get("class_factors", {})),
+            class_overhead_s=dict(obj.get("class_overhead_s", {})),
+            op_factors=dict(obj.get("op_factors", {})),
+            op_overhead_s=dict(obj.get("op_overhead_s", {})),
+            fit=fit,
+            schema_version=int(obj["schema_version"]),
+        )
+
+
+def as_profile(device: "DeviceModel | DeviceProfile") -> DeviceProfile:
+    """Coerce a raw :class:`DeviceModel` to its uncalibrated profile.
+
+    Every cost entry point accepts either; this is the single coercion
+    used by :func:`repro.ops.registry.node_cost` and :mod:`repro.hw.latency`.
+    """
+    if isinstance(device, DeviceProfile):
+        return device
+    if isinstance(device, DeviceModel):
+        return DeviceProfile(name="default", device=device)
+    raise TypeError(
+        f"expected DeviceModel or DeviceProfile, got {type(device).__name__}"
+    )
+
+
+_DEVICE_FIELDS = {f.name for f in DeviceModel.__dataclass_fields__.values()}
+_FIT_FIELDS = {f.name for f in FitReport.__dataclass_fields__.values()}
+
+
+def validate_profile(obj) -> list[str]:
+    """Schema oracle for a device-profile JSON object.
+
+    Returns a list of human-readable problems (empty when valid) —
+    mirroring the BENCH schema oracles, so callers can report every
+    problem at once instead of failing on the first.
+    """
+    problems: list[str] = []
+    if not isinstance(obj, dict):
+        return [f"profile must be a JSON object, got {type(obj).__name__}"]
+    if obj.get("schema") != PROFILE_SCHEMA:
+        problems.append(
+            f"schema must be {PROFILE_SCHEMA!r}, got {obj.get('schema')!r}"
+        )
+    version = obj.get("schema_version")
+    if not isinstance(version, int):
+        problems.append("schema_version must be an integer")
+    elif version > PROFILE_SCHEMA_VERSION:
+        problems.append(
+            f"schema_version {version} is newer than supported "
+            f"{PROFILE_SCHEMA_VERSION}"
+        )
+    if not isinstance(obj.get("name"), str) or not obj.get("name"):
+        problems.append("name must be a non-empty string")
+    device = obj.get("device")
+    if not isinstance(device, dict):
+        problems.append("device must be an object of DeviceModel fields")
+    else:
+        missing = _DEVICE_FIELDS - set(device) - {"thread_fork_s"}
+        extra = set(device) - _DEVICE_FIELDS
+        if missing:
+            problems.append(f"device missing fields: {sorted(missing)}")
+        if extra:
+            problems.append(f"device has unknown fields: {sorted(extra)}")
+        for key in ("sustained_macs_per_cycle", "spill_penalty"):
+            if key in device and not isinstance(device[key], dict):
+                problems.append(f"device.{key} must be a mapping")
+    for key in ("class_factors", "class_overhead_s", "op_factors", "op_overhead_s"):
+        mapping = obj.get(key, {})
+        if not isinstance(mapping, dict):
+            problems.append(f"{key} must be a mapping")
+            continue
+        for cls_name, value in mapping.items():
+            if not isinstance(value, (int, float)) or isinstance(value, bool):
+                problems.append(f"{key}[{cls_name!r}] must be a number")
+            elif value < 0:
+                problems.append(f"{key}[{cls_name!r}] must be >= 0")
+    fit = obj.get("fit")
+    if fit is not None:
+        if not isinstance(fit, dict):
+            problems.append("fit must be an object or null")
+        else:
+            missing = _FIT_FIELDS - set(fit)
+            if missing:
+                problems.append(f"fit missing fields: {sorted(missing)}")
+            if not isinstance(fit.get("residuals", []), list):
+                problems.append("fit.residuals must be a list")
+    return problems
+
+
+def save_profile(profile: DeviceProfile, path: "str | Path") -> Path:
+    """Write ``profile`` to ``path`` as versioned JSON."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(profile.to_json(), indent=2, sort_keys=True))
+    return path
+
+
+def load_profile(path: "str | Path") -> DeviceProfile:
+    """Load and schema-validate a profile artifact.
+
+    Raises :class:`ProfileError` (never a bare ``KeyError``/``JSONDecodeError``)
+    so CLI consumers can fail with a typed message and non-zero exit.
+    """
+    path = Path(path)
+    try:
+        text = path.read_text()
+    except OSError as exc:
+        raise ProfileError(f"cannot read profile {path}: {exc}") from exc
+    try:
+        obj = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise ProfileError(f"profile {path} is not valid JSON: {exc}") from exc
+    try:
+        return DeviceProfile.from_json(obj)
+    except ProfileError as exc:
+        raise ProfileError(f"profile {path}: {exc}") from exc
+
+
+def list_profiles(directory: "str | Path") -> list[dict]:
+    """Summaries of every valid profile artifact under ``directory``.
+
+    Non-profile JSON files are skipped; invalid profile-shaped files are
+    reported with a ``problems`` entry instead of being silently dropped.
+    """
+    directory = Path(directory)
+    summaries: list[dict] = []
+    for path in sorted(directory.glob("*.json")):
+        try:
+            obj = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError):
+            continue
+        if not isinstance(obj, dict) or obj.get("schema") != PROFILE_SCHEMA:
+            continue
+        problems = validate_profile(obj)
+        if problems:
+            summaries.append({"path": str(path), "problems": problems})
+            continue
+        fit = obj.get("fit") or {}
+        summaries.append(
+            {
+                "path": str(path),
+                "name": obj["name"],
+                "device": obj["device"]["name"],
+                "calibrated": bool(obj["class_factors"])
+                or bool(obj["class_overhead_s"])
+                or bool(obj.get("op_factors"))
+                or bool(obj.get("op_overhead_s")),
+                "samples": fit.get("samples"),
+                "median_abs_pct_error": fit.get("median_abs_pct_error"),
+            }
+        )
+    return summaries
+
+
+def diff_profiles(a: DeviceProfile, b: DeviceProfile) -> dict[str, tuple]:
+    """Field-by-field differences between two profiles.
+
+    Keys are dotted paths (``device.freq_hz``, ``factors.LceBConv2d``,
+    ``overhead.Full precision Add``); values are ``(a_value, b_value)``
+    with ``None`` where one side has no entry.
+    """
+    diffs: dict[str, tuple] = {}
+    if a.name != b.name:
+        diffs["name"] = (a.name, b.name)
+    da, db = asdict(a.device), asdict(b.device)
+    for key in sorted(set(da) | set(db)):
+        if da.get(key) != db.get(key):
+            diffs[f"device.{key}"] = (da.get(key), db.get(key))
+    for label, ma, mb in (
+        ("factors", a.class_factors, b.class_factors),
+        ("overhead", a.class_overhead_s, b.class_overhead_s),
+        ("op_factors", a.op_factors, b.op_factors),
+        ("op_overhead", a.op_overhead_s, b.op_overhead_s),
+    ):
+        for key in sorted(set(ma) | set(mb)):
+            va, vb = ma.get(key), mb.get(key)
+            if va != vb:
+                diffs[f"{label}.{key}"] = (va, vb)
+    return diffs

@@ -23,7 +23,7 @@ from dataclasses import dataclass, field
 from repro.core.im2col import conv_geometry
 from repro.core.types import Padding
 from repro.graph.ir import Graph, Node, TensorSpec
-from repro.hw.device import DeviceModel
+from repro.hw.device import DeviceModel, DeviceProfile, as_profile
 
 _BYTES = {"float32": 4.0, "int8": 1.0, "int32": 4.0}
 
@@ -79,6 +79,29 @@ class LatencyBreakdown:
             memory_bound=self.memory_bound or other.memory_bound,
         )
 
+    def scaled(
+        self, factor: float, overhead_s: float | None = None
+    ) -> "LatencyBreakdown":
+        """Apply per-op-class calibration to this estimate.
+
+        ``factor`` multiplies every *work* stage (im2col, accumulation,
+        transform, other); ``overhead_s`` replaces the fixed dispatch
+        overhead when given.  ``scaled(1.0)`` is the identity, so
+        uncalibrated profiles reproduce the raw estimate bit-for-bit.
+        """
+        if factor < 0:
+            raise ValueError(f"factor must be >= 0, got {factor}")
+        if factor == 1.0 and overhead_s is None:
+            return self
+        return LatencyBreakdown(
+            overhead_s=self.overhead_s if overhead_s is None else overhead_s,
+            im2col_s=self.im2col_s * factor,
+            accumulation_s=self.accumulation_s * factor,
+            transform_s=self.transform_s * factor,
+            other_s=self.other_s * factor,
+            memory_bound=self.memory_bound,
+        )
+
     def with_threads(self, threads: int) -> "LatencyBreakdown":
         """Multi-threaded execution of this op (paper: LCE inherits Ruy's
         multi-threading; DaBNN has none).
@@ -110,7 +133,7 @@ class LatencyBreakdown:
 
 # ------------------------------------------------------------- convolutions
 def conv_cost(
-    device: DeviceModel,
+    device: DeviceModel | DeviceProfile,
     precision: str,
     batch: int,
     in_h: int,
@@ -134,7 +157,13 @@ def conv_cost(
     and ``fused_transform`` the float path with per-channel multiplier/bias;
     ``zero_padding_correction`` adds the extra correction step the paper
     describes for zero-padded binarized convolutions.
+
+    Accepts a raw :class:`DeviceModel` or a :class:`DeviceProfile`; the
+    roofline always prices against the profile's analytic constants —
+    per-op-class calibration factors are applied once, at
+    :func:`repro.ops.registry.node_cost`.
     """
+    device = as_profile(device).device
     geom = conv_geometry(in_h, in_w, kernel_h, kernel_w, stride, dilation, padding)
     pixels = batch * geom.out_h * geom.out_w
     depth = kernel_h * kernel_w * in_channels
@@ -206,8 +235,11 @@ def conv_cost(
     )
 
 
-def bandwidth_cost(device: DeviceModel, bytes_touched: float) -> LatencyBreakdown:
+def bandwidth_cost(
+    device: DeviceModel | DeviceProfile, bytes_touched: float
+) -> LatencyBreakdown:
     """Bandwidth-bound cost of touching ``bytes_touched`` bytes once."""
+    device = as_profile(device).device
     cycles = bytes_touched / device.eltwise_bytes_per_cycle
     return LatencyBreakdown(
         overhead_s=device.op_overhead_s, other_s=device.cycles_to_seconds(cycles)
@@ -216,15 +248,19 @@ def bandwidth_cost(device: DeviceModel, bytes_touched: float) -> LatencyBreakdow
 
 # ----------------------------------------------------------- per-node costs
 def node_latency(
-    device: DeviceModel,
+    device: DeviceModel | DeviceProfile,
     node: Node,
     input_specs: list[TensorSpec],
     output_specs: list[TensorSpec],
 ) -> LatencyBreakdown:
-    """Latency estimate for one graph node, via its registered cost hook."""
+    """Latency estimate for one graph node, via its registered cost hook.
+
+    With a :class:`DeviceProfile`, the estimate includes the profile's
+    trace-fitted per-op-class calibration (applied in ``node_cost``).
+    """
     from repro.ops import node_cost  # local import: op cost hooks import us
 
-    return node_cost(device, node, input_specs, output_specs)
+    return node_cost(as_profile(device), node, input_specs, output_specs)
 
 
 @dataclass(frozen=True)
@@ -243,24 +279,28 @@ class GraphLatency:
 
 
 def graph_latency(
-    device: DeviceModel, graph: Graph, threads: int = 1
+    device: DeviceModel | DeviceProfile, graph: Graph, threads: int = 1
 ) -> GraphLatency:
     """Estimate end-to-end latency of a graph.
 
     ``threads > 1`` models LCE's Ruy-inherited multi-threaded inference;
-    see :meth:`LatencyBreakdown.with_threads`.
+    see :meth:`LatencyBreakdown.with_threads`.  ``device`` may be a
+    calibrated :class:`DeviceProfile` — every consumer (profiler
+    breakdowns, experiments tables, speedup analysis) then prices against
+    the same fitted constants.
     """
+    profile = as_profile(device)
     per_node: dict[str, LatencyBreakdown] = {}
     for node in graph.nodes:
         input_specs = [graph.tensors[t] for t in node.inputs]
         output_specs = [graph.tensors[t] for t in node.outputs]
-        cost = node_latency(device, node, input_specs, output_specs)
+        cost = node_latency(profile, node, input_specs, output_specs)
         per_node[node.name] = cost.with_threads(threads)
     return GraphLatency(per_node=per_node)
 
 
 def align_spans(
-    device: DeviceModel, graph: Graph, spans, threads: int = 1
+    device: DeviceModel | DeviceProfile, graph: Graph, spans, threads: int = 1
 ) -> dict[str, tuple[float, float]]:
     """Per-node (measured_s, simulated_s) pairs from recorded trace spans.
 

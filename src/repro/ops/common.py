@@ -103,19 +103,19 @@ def io_bytes(input_specs, output_specs) -> float:
     )
 
 
-def eltwise_cost(device, node, p, input_specs, output_specs):
+def eltwise_cost(profile, node, p, input_specs, output_specs):
     """bandwidth-bound elementwise traffic"""
     from repro.hw.latency import bandwidth_cost
 
-    return bandwidth_cost(device, io_bytes(input_specs, output_specs))
+    return bandwidth_cost(profile, io_bytes(input_specs, output_specs))
 
 
-def first_io_cost(device, node, p, input_specs, output_specs):
+def first_io_cost(profile, node, p, input_specs, output_specs):
     """bandwidth on first input + first output (ignores weights)"""
     from repro.hw.latency import bandwidth_cost
 
     return bandwidth_cost(
-        device, float(input_specs[0].nbytes + output_specs[0].nbytes)
+        profile, float(input_specs[0].nbytes + output_specs[0].nbytes)
     )
 
 

@@ -21,17 +21,18 @@ from repro.ops.registry import CLASS_FP_ADD, OpSpec, register
 
 
 # ---------------------------------------------------------- trivial costs
-def _overhead_only_cost(device, node, p, input_specs, output_specs):
+def _overhead_only_cost(profile, node, p, input_specs, output_specs):
     """per-op dispatch overhead; no data is moved"""
     from repro.hw.latency import LatencyBreakdown
 
-    return LatencyBreakdown(overhead_s=device.op_overhead_s)
+    return LatencyBreakdown(overhead_s=profile.device.op_overhead_s)
 
 
-def _transcendental_cost(device, node, p, input_specs, output_specs):
+def _transcendental_cost(profile, node, p, input_specs, output_specs):
     """exp-heavy elementwise math (softmax / sigmoid)"""
     from repro.hw.latency import EXP_ELEMS_PER_CYCLE, LatencyBreakdown
 
+    device = profile.device
     elems = float(output_specs[0].num_elements)
     return LatencyBreakdown(
         overhead_s=device.op_overhead_s,
@@ -39,11 +40,11 @@ def _transcendental_cost(device, node, p, input_specs, output_specs):
     )
 
 
-def _concat_cost(device, node, p, input_specs, output_specs):
+def _concat_cost(profile, node, p, input_specs, output_specs):
     """read + write of the concatenated output"""
     from repro.hw.latency import bandwidth_cost
 
-    return bandwidth_cost(device, 2 * float(output_specs[0].nbytes))
+    return bandwidth_cost(profile, 2 * float(output_specs[0].nbytes))
 
 
 # -------------------------------------------------------------- identity

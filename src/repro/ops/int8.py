@@ -23,10 +23,11 @@ def _require_int8(specs, op: str, arity: int = 1) -> None:
         raise GraphError(f"{op} {'takes' if arity == 2 else 'expects'} {kind}")
 
 
-def _requant_cost(device, node, p, input_specs, output_specs):
+def _requant_cost(profile, node, p, input_specs, output_specs):
     """affine (re)quantization pass over the tensor (transform stage)"""
     from repro.hw.latency import LatencyBreakdown
 
+    device = profile.device
     touched = float(input_specs[0].nbytes + output_specs[0].nbytes)
     cycles = touched / device.eltwise_bytes_per_cycle
     return LatencyBreakdown(
@@ -244,14 +245,14 @@ def _conv2d_int8_kernel(node, p, ctx):
     )
 
 
-def _conv2d_int8_cost(device, node, p, input_specs, output_specs):
+def _conv2d_int8_cost(profile, node, p, input_specs, output_specs):
     """int8 GEMM roofline + requantizing output transform"""
     from repro.hw.latency import conv_cost
 
     n, h, w, _ = input_specs[0].shape
     kh, kw, cin, cout = node.params["weights_q"].shape
     return conv_cost(
-        device, "int8", n, h, w, cin, cout, kh, kw,
+        profile, "int8", n, h, w, cin, cout, kh, kw,
         stride=p.stride, dilation=p.dilation, padding=p.padding,
     )
 
@@ -294,10 +295,11 @@ def _dense_int8_kernel(node, p, ctx):
     )
 
 
-def _dense_int8_cost(device, node, p, input_specs, output_specs):
+def _dense_int8_cost(profile, node, p, input_specs, output_specs):
     """int8 weight-streaming GEMV roofline"""
     from repro.hw.latency import LatencyBreakdown
 
+    device = profile.device
     w = node.params["weights_q"]
     macs = float(np.prod(output_specs[0].shape[:-1])) * w.shape[0] * w.shape[1]
     weight_bytes = float(w.shape[0] * w.shape[1])

@@ -58,14 +58,14 @@ def _conv2d_kernel(node, p, ctx):
     )
 
 
-def _conv2d_cost(device, node, p, input_specs, output_specs):
+def _conv2d_cost(profile, node, p, input_specs, output_specs):
     """float GEMM roofline + im2col"""
     from repro.hw.latency import conv_cost
 
     n, h, w, _ = input_specs[0].shape
     kh, kw, cin, cout = node.params["weights"].shape
     return conv_cost(
-        device, "float32", n, h, w, cin, cout, kh, kw,
+        profile, "float32", n, h, w, cin, cout, kh, kw,
         stride=p.stride, dilation=p.dilation, padding=p.padding,
     )
 
@@ -110,10 +110,11 @@ def _depthwise_kernel(node, p, ctx):
     )
 
 
-def _depthwise_cost(device, node, p, input_specs, output_specs):
+def _depthwise_cost(profile, node, p, input_specs, output_specs):
     """MAC count at the depthwise vectorization efficiency"""
     from repro.hw.latency import DEPTHWISE_EFFICIENCY, LatencyBreakdown
 
+    device = profile.device
     spec = output_specs[0]
     kh, kw, c = node.params["weights"].shape
     macs = float(np.prod(spec.shape)) * kh * kw
@@ -154,10 +155,11 @@ def _dense_kernel(node, p, ctx):
     return lambda ins: dense_float(ins[0], weights, bias=bias, activation=activation)
 
 
-def _dense_cost(device, node, p, input_specs, output_specs):
+def _dense_cost(profile, node, p, input_specs, output_specs):
     """weight-streaming GEMV roofline"""
     from repro.hw.latency import LatencyBreakdown
 
+    device = profile.device
     w = node.params["weights"]
     macs = float(np.prod(output_specs[0].shape[:-1])) * w.shape[0] * w.shape[1]
     weight_bytes = float(w.shape[0] * w.shape[1] * 4)
@@ -185,10 +187,11 @@ register(
 
 
 # ---------------------------------------------------------------- pooling
-def _pool_cost(device, node, p, input_specs, output_specs):
+def _pool_cost(profile, node, p, input_specs, output_specs):
     """window-sized element traffic at the pool unit rate"""
     from repro.hw.latency import LatencyBreakdown
 
+    device = profile.device
     elems = pool_window_elems(p, output_specs)
     cycles = elems / device.pool_elems_per_cycle
     return LatencyBreakdown(
@@ -240,11 +243,11 @@ def _infer_gap(specs, p, params):
     return [TensorSpec((n, c), specs[0].dtype)]
 
 
-def _gap_cost(device, node, p, input_specs, output_specs):
+def _gap_cost(profile, node, p, input_specs, output_specs):
     """bandwidth over the reduced input"""
     from repro.hw.latency import bandwidth_cost
 
-    return bandwidth_cost(device, float(input_specs[0].nbytes))
+    return bandwidth_cost(profile, float(input_specs[0].nbytes))
 
 
 register(

@@ -40,10 +40,11 @@ def _infer_lce_quantize(specs, p, params):
     return [TensorSpec(specs[0].shape, "bitpacked")]
 
 
-def _lce_quantize_cost(device, node, p, input_specs, output_specs):
+def _lce_quantize_cost(profile, node, p, input_specs, output_specs):
     """sign extraction + bit packing over the input"""
     from repro.hw.latency import LatencyBreakdown
 
+    device = profile.device
     return LatencyBreakdown(
         overhead_s=device.op_overhead_s,
         transform_s=device.cycles_to_seconds(
@@ -73,10 +74,11 @@ def _infer_lce_dequantize(specs, p, params):
     return [TensorSpec(specs[0].shape, "float32")]
 
 
-def _lce_dequantize_cost(device, node, p, input_specs, output_specs):
+def _lce_dequantize_cost(profile, node, p, input_specs, output_specs):
     """bit unpacking into float writes"""
     from repro.hw.latency import LatencyBreakdown
 
+    device = profile.device
     return LatencyBreakdown(
         overhead_s=device.op_overhead_s,
         transform_s=device.cycles_to_seconds(
@@ -221,13 +223,13 @@ def _lce_bconv2d_kernel(node, p, ctx):
     return run
 
 
-def _lce_bconv2d_cost(device, node, p, input_specs, output_specs):
+def _lce_bconv2d_cost(profile, node, p, input_specs, output_specs):
     """binary GEMM roofline + the selected output-transform path"""
     from repro.hw.latency import conv_cost
 
     n, h, w, _ = input_specs[0].shape
     return conv_cost(
-        device,
+        profile,
         "binary",
         n, h, w, p.in_channels, p.out_channels, p.kernel_h, p.kernel_w,
         stride=p.stride,
@@ -252,6 +254,7 @@ register(
         binary=True,
         accepts_bitpacked=True,
         mac_layer=True,
+        threadable=True,
     )
 )
 
@@ -264,10 +267,11 @@ def _infer_lce_bmaxpool(specs, p, params):
     return infer_pool(specs, p, params, "lce_bmaxpool2d")
 
 
-def _lce_bmaxpool_cost(device, node, p, input_specs, output_specs):
+def _lce_bmaxpool_cost(profile, node, p, input_specs, output_specs):
     """word-granular bitwise pooling"""
     from repro.hw.latency import BPOOL_WORD_SPEEDUP, LatencyBreakdown, words_per_pixel
 
+    device = profile.device
     n, oh, ow, c = output_specs[0].shape
     window = p.pool_h * p.pool_w
     word_ops = float(n * oh * ow * window * words_per_pixel(c))

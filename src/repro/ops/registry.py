@@ -35,7 +35,7 @@ from repro.graph.ir import GraphError, Node, TensorSpec
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.core.workspace import WorkspacePool
-    from repro.hw.device import DeviceModel
+    from repro.hw.device import DeviceModel, DeviceProfile
     from repro.hw.latency import LatencyBreakdown
 
 Value = Any  # np.ndarray | PackedTensor
@@ -192,8 +192,11 @@ Attrs = SimpleNamespace
 
 InferFn = Callable[[list[TensorSpec], Attrs, dict[str, Any]], list[TensorSpec]]
 CompileFn = Callable[[Node, Attrs, OpContext], KernelFn]
+#: cost hooks price against a :class:`~repro.hw.device.DeviceProfile` — the
+#: analytic constants live on ``profile.device``; per-op-class calibration
+#: is applied once, by :func:`node_cost`, after the hook returns
 CostFn = Callable[
-    ["DeviceModel", Node, Attrs, list[TensorSpec], list[TensorSpec]],
+    ["DeviceProfile", Node, Attrs, list[TensorSpec], list[TensorSpec]],
     "LatencyBreakdown",
 ]
 
@@ -226,6 +229,9 @@ class OpSpec:
     #: True when the float kernel is not row-stable across batch sizes and
     #: must run per base-batch group inside a rebatched plan
     split_rebatch: bool = False
+    #: True when the kernel consumes ``ctx.num_threads`` — profile-steered
+    #: plan compilation only spends threads on ops that can use them
+    threadable: bool = False
     #: one-line human description for the ``repro.cli ops`` table
     doc: str = ""
 
@@ -311,16 +317,34 @@ def compile_node(node: Node, ctx: OpContext | None = None) -> KernelFn:
 
 
 def node_cost(
-    device: "DeviceModel",
+    device: DeviceModel | DeviceProfile,
     node: Node,
     input_specs: list[TensorSpec],
     output_specs: list[TensorSpec],
 ) -> "LatencyBreakdown":
-    """Cost one node via its registered hook; ValueError when absent."""
+    """Cost one node via its registered hook; ValueError when absent.
+
+    The single calibration point of the cost stack: the hook prices the
+    node against the profile's analytic constants, then the profile's
+    per-op-class work factor and overhead replacement are applied here —
+    so the profiler, ``graph_latency``, experiments tables and plan
+    scheduling all see the same calibrated estimate.  A raw
+    :class:`DeviceModel` (or the ``default`` profile) applies no
+    calibration and reproduces the historical estimates bit-for-bit.
+    """
+    from repro.hw.device import as_profile  # local import: hw imports us
+
     spec = _OPS.get(node.op)
     if spec is None or spec.cost is None:
         raise ValueError(f"no latency model for op {node.op!r}")
-    return spec.cost(device, node, spec.parse_attrs(node.attrs), input_specs, output_specs)
+    profile = as_profile(device)
+    breakdown = spec.cost(
+        profile, node, spec.parse_attrs(node.attrs), input_specs, output_specs
+    )
+    return breakdown.scaled(
+        profile.factor(spec.op_class, node.op),
+        profile.overhead_s(spec.op_class, node.op),
+    )
 
 
 def op_class_of(op: str) -> str:

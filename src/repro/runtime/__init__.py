@@ -17,7 +17,13 @@ section "The runtime"):
 """
 
 from repro.runtime.engine import Engine, EngineStats
-from repro.runtime.plan import CompiledNode, CompiledPlan, ParamCache, compile_plan
+from repro.runtime.plan import (
+    CompiledNode,
+    CompiledPlan,
+    NodeSchedule,
+    ParamCache,
+    compile_plan,
+)
 from repro.runtime.rebatch import rebatched_specs
 from repro.runtime.scheduler import (
     SCHEDULERS,
@@ -37,6 +43,7 @@ __all__ = [
     "EngineStats",
     "GreedyCoalescer",
     "LeastLoadedScheduler",
+    "NodeSchedule",
     "ParamCache",
     "RoundRobinScheduler",
     "Scheduler",

@@ -26,7 +26,7 @@ import threading
 import time
 from concurrent.futures import Future
 from dataclasses import dataclass, field
-from typing import Any, Sequence
+from typing import TYPE_CHECKING, Any, Sequence
 
 import numpy as np
 
@@ -36,6 +36,9 @@ from repro.obs.metrics import MetricsRegistry, global_registry
 from repro.obs.trace import NULL_TRACER, NullTracer, Tracer
 from repro.runtime.plan import CompiledPlan, ParamCache, compile_plan
 from repro.runtime.scheduler import Coalescer, GreedyCoalescer
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.hw.device import DeviceProfile
 
 Value = Any  # np.ndarray | PackedTensor
 Request = tuple[Value, ...]
@@ -72,6 +75,12 @@ class EngineStats:
     verified: bool = True
     #: cumulative wall-clock seconds per node across all executions
     node_time_s: dict[str, float] = field(default_factory=dict)
+    #: name of the device profile steering plan compilation (``"default"``
+    #: when no calibrated profile was supplied — fixed-heuristic schedules)
+    profile_id: str = "default"
+    #: nodes with a profile-steered scheduling decision across all compiled
+    #: plans (0 for fixed-heuristic plans)
+    scheduled_nodes: int = 0
 
     @property
     def plan_cache_hit_rate(self) -> float:
@@ -139,6 +148,13 @@ class Engine:
         coalescer: the micro-batching policy (see
             :mod:`repro.runtime.scheduler`); defaults to the historical
             :class:`~repro.runtime.scheduler.GreedyCoalescer`.
+        profile: a calibrated :class:`~repro.hw.device.DeviceProfile`;
+            when given, every plan this engine compiles chooses per-node
+            thread counts and rebatch splits from the profile's fitted
+            cost model (``num_threads`` becomes the ceiling), with the
+            decisions visible on ``plan.schedule``, in ``EngineStats``
+            and in ``plan.execute`` trace spans.  Outputs are unchanged —
+            only scheduling is.
 
     Thread safety: one engine may be shared by any number of threads; plan
     compilation and the weight cache are serialized behind a lock while
@@ -162,6 +178,7 @@ class Engine:
         trace: Tracer | None = None,
         param_cache: ParamCache | None = None,
         coalescer: Coalescer | None = None,
+        profile: DeviceProfile | None = None,
     ) -> None:
         graph = getattr(model, "graph", model)
         if not isinstance(graph, Graph):
@@ -184,6 +201,7 @@ class Engine:
         self._plan_lock = threading.Lock()
         self._plans: dict[int, CompiledPlan] = {}
         self._param_cache = param_cache if param_cache is not None else ParamCache()
+        self._profile = profile
         self.coalescer: Coalescer = (
             coalescer if coalescer is not None else GreedyCoalescer()
         )
@@ -210,6 +228,7 @@ class Engine:
         m.gauge("paramcache.misses", lambda: self._param_cache_view("misses"))
         m.gauge("workspace.bytes_reserved", self._workspace_bytes_view)
         m.gauge("engine.verified", self._verified_view)
+        m.gauge("engine.scheduled_nodes", self._scheduled_nodes_view)
         self._node_time_s: dict[str, float] = {}  # guarded by metrics lock
         self._last_node_times: dict[str, float] = {}
 
@@ -230,6 +249,10 @@ class Engine:
         with self._plan_lock:
             return int(all(p.verified for p in self._plans.values()))
 
+    def _scheduled_nodes_view(self) -> int:
+        with self._plan_lock:
+            return sum(len(p.schedule) for p in self._plans.values())
+
     # ------------------------------------------------------------- plumbing
     def plan(self, batch_factor: int = 1) -> CompiledPlan:
         """The cached :class:`CompiledPlan` for ``batch_factor``."""
@@ -242,6 +265,7 @@ class Engine:
                     batch_factor=batch_factor,
                     num_threads=self.num_threads,
                     cache=self._param_cache,
+                    profile=self._profile,
                 )
                 self._plans[batch_factor] = plan
             else:
@@ -531,6 +555,8 @@ class Engine:
             workspace_bytes=snap["workspace.bytes_reserved"],
             verified=bool(snap["engine.verified"]),
             node_time_s=node_time_s,
+            profile_id=self._profile.name if self._profile is not None else "default",
+            scheduled_nodes=snap["engine.scheduled_nodes"],
         )
 
     def metrics_snapshot(self) -> dict[str, Any]:

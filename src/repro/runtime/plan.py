@@ -29,7 +29,7 @@ leading extent.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import TYPE_CHECKING, Sequence
 
 import numpy as np
@@ -40,19 +40,37 @@ from repro.graph.ir import Graph, TensorSpec
 from repro.ops import (
     KernelFn,
     OpContext,
+    OpSpec,
     ParamCache,
     Value,
     check_value,
     compile_node,
     get_spec,
+    node_cost,
 )
 from repro.runtime.rebatch import rebatched_specs
 
 if TYPE_CHECKING:  # pragma: no cover - import only for type checkers
+    from repro.hw.device import DeviceProfile
     from repro.obs.trace import Tracer
 
 #: historical name — plan contexts are plain :class:`repro.ops.OpContext`
 PlanContext = OpContext
+
+
+def _slice_rows(value: Value, start: int, stop: int) -> Value:
+    if isinstance(value, PackedTensor):
+        return PackedTensor(bits=value.bits[start:stop], channels=value.channels)
+    return value[start:stop]
+
+
+def _concat_rows(values: list[Value]) -> Value:
+    if isinstance(values[0], PackedTensor):
+        return PackedTensor(
+            bits=np.concatenate([v.bits for v in values], axis=0),
+            channels=values[0].channels,
+        )
+    return np.concatenate(values, axis=0)
 
 
 def _split_per_group(fn: KernelFn, base_batch: int, factor: int) -> KernelFn:
@@ -60,17 +78,44 @@ def _split_per_group(fn: KernelFn, base_batch: int, factor: int) -> KernelFn:
 
     Applied to ``split_rebatch`` ops in rebatched plans so batched results
     stay bit-identical to per-base-batch runs (float BLAS GEMMs are not
-    row-stable across row counts).
+    row-stable across row counts), and to binarized MAC layers when a
+    calibrated profile predicts per-group execution is cheaper (exact
+    integer arithmetic, so splitting never changes the result).
     """
 
     def fn_split(ins):
         outs = [
-            fn([x[g * base_batch : (g + 1) * base_batch] for x in ins])
+            fn(
+                [
+                    _slice_rows(x, g * base_batch, (g + 1) * base_batch)
+                    for x in ins
+                ]
+            )
             for g in range(factor)
         ]
-        return np.concatenate(outs, axis=0)
+        return _concat_rows(outs)
 
     return fn_split
+
+
+@dataclass(frozen=True)
+class NodeSchedule:
+    """One profile-steered scheduling decision, recorded on the plan.
+
+    ``num_threads`` is the per-node intra-op thread count the calibrated
+    cost model chose (1 for ops that cannot use threads); ``split`` records
+    whether the node runs per base-batch group instead of one batched call.
+    ``predicted_s`` is the model's estimate for the chosen schedule and
+    ``default_s`` for the fixed-heuristic schedule, both per plan call —
+    their ratio is the predicted win, visible in ``EngineStats`` and traces.
+    """
+
+    name: str
+    op: str
+    num_threads: int
+    split: bool
+    predicted_s: float
+    default_s: float
 
 
 @dataclass(frozen=True)
@@ -109,6 +154,11 @@ class CompiledPlan:
     #: at compile time.  :func:`compile_plan` always sets this; it is False
     #: only for hand-assembled plans that bypassed validation.
     verified: bool = False
+    #: per-node scheduling decisions when a device profile steered
+    #: compilation (empty for fixed-heuristic plans)
+    schedule: tuple[NodeSchedule, ...] = ()
+    #: name of the device profile that steered compilation, or None
+    profile_id: str | None = None
 
     @property
     def base_batch(self) -> int:
@@ -149,12 +199,15 @@ class CompiledPlan:
             check_value(value, spec, self.slot_names[slot])
             slots[slot] = value
         if tracer is not None and tracer.enabled:
-            with tracer.span(
-                "plan.execute",
-                batch_factor=self.batch_factor,
-                num_threads=self.num_threads,
-                nodes=len(self.nodes),
-            ):
+            span_args = {
+                "batch_factor": self.batch_factor,
+                "num_threads": self.num_threads,
+                "nodes": len(self.nodes),
+            }
+            if self.profile_id is not None:
+                span_args["profile"] = self.profile_id
+                span_args["scheduled"] = len(self.schedule)
+            with tracer.span("plan.execute", **span_args):
                 self._run_nodes(slots, node_times, tracer)
         else:
             self._run_nodes(slots, node_times, None)
@@ -186,11 +239,87 @@ class CompiledPlan:
                 slots[s] = None
 
 
+def _schedule_node(
+    profile: "DeviceProfile",
+    graph: Graph,
+    specs,
+    node,
+    spec: OpSpec,
+    batch_factor: int,
+    num_threads: int,
+) -> NodeSchedule | None:
+    """Choose (threads, split) for one node from the calibrated cost model.
+
+    The search compares, per plan call, one batched kernel invocation
+    against ``batch_factor`` per-base-batch invocations (each paying its
+    own dispatch overhead), across every usable thread count (each extra
+    thread paying the profile's fork/join cost).  Splitting is a free
+    choice only for exact-arithmetic binarized MAC layers; ``split_rebatch``
+    ops are forced per-group for bit-exactness regardless of cost, and
+    thread counts above 1 are only considered for ``threadable`` ops.
+    Returns ``None`` for nodes without a cost hook (no basis to schedule).
+    """
+    if spec.cost is None:
+        return None
+    base_in = [graph.tensors[t] for t in node.inputs]
+    base_out = [graph.tensors[t] for t in node.outputs]
+    try:
+        base = node_cost(profile, node, base_in, base_out)
+    except (ValueError, KeyError):
+        return None
+    if batch_factor == 1:
+        batched = base
+    else:
+        batched = node_cost(
+            profile,
+            node,
+            [specs[t] for t in node.inputs],
+            [specs[t] for t in node.outputs],
+        )
+
+    fork_s = profile.device.thread_fork_s
+    forced_split = batch_factor > 1 and spec.split_rebatch
+
+    def cost_of(threads: int, split: bool) -> float:
+        per_call = base if split else batched
+        calls = batch_factor if split else 1
+        return calls * (
+            per_call.with_threads(threads).total_s + (threads - 1) * fork_s
+        )
+
+    # The fixed heuristic this replaces: one batched call (except forced
+    # splits) at the plan-wide thread count for thread-capable kernels.
+    default_s = cost_of(num_threads if spec.threadable else 1, forced_split)
+
+    thread_options = range(1, num_threads + 1) if spec.threadable else (1,)
+    if forced_split:
+        split_options: tuple[bool, ...] = (True,)
+    elif batch_factor > 1 and spec.binary and spec.mac_layer:
+        split_options = (False, True)
+    else:
+        split_options = (False,)
+    best_cost, best_threads, best_split = None, 1, forced_split
+    for threads in thread_options:
+        for split in split_options:
+            cost = cost_of(threads, split)
+            if best_cost is None or cost < best_cost:
+                best_cost, best_threads, best_split = cost, threads, split
+    return NodeSchedule(
+        name=node.name,
+        op=node.op,
+        num_threads=best_threads,
+        split=best_split,
+        predicted_s=best_cost,
+        default_s=default_s,
+    )
+
+
 def compile_plan(
     graph: Graph,
     batch_factor: int = 1,
     num_threads: int = 1,
     cache: ParamCache | None = None,
+    profile: DeviceProfile | None = None,
 ) -> CompiledPlan:
     """Compile ``graph`` into a :class:`CompiledPlan`.
 
@@ -200,6 +329,12 @@ def compile_plan(
             per call; tensor specs are re-inferred for the batched shapes.
         num_threads: intra-op threads for the ``lce_bconv2d`` BGEMM.
         cache: shared :class:`ParamCache`; a fresh one is used if omitted.
+        profile: a :class:`~repro.hw.device.DeviceProfile`.  When given,
+            per-node thread counts and rebatch splits are chosen by the
+            profile's calibrated cost model instead of the fixed rules
+            (``num_threads`` becomes the per-node *ceiling*), and every
+            decision is recorded on :attr:`CompiledPlan.schedule`.  Only
+            scheduling changes — outputs stay bit-identical.
     """
     if batch_factor < 1:
         raise ValueError(f"batch_factor must be positive, got {batch_factor}")
@@ -237,9 +372,22 @@ def compile_plan(
 
     base_batch = specs[graph.inputs[0]].shape[0] // batch_factor if graph.inputs else 1
     compiled: list[CompiledNode] = []
+    schedule: list[NodeSchedule] = []
     for idx, node in enumerate(graph.nodes):
-        fn = compile_node(node, ctx)
-        if batch_factor > 1 and get_spec(node.op).split_rebatch:
+        op_spec = get_spec(node.op)
+        node_ctx = ctx
+        split = batch_factor > 1 and op_spec.split_rebatch
+        if profile is not None:
+            decision = _schedule_node(
+                profile, graph, specs, node, op_spec, batch_factor, num_threads
+            )
+            if decision is not None:
+                schedule.append(decision)
+                split = split or decision.split
+                if op_spec.threadable and decision.num_threads != num_threads:
+                    node_ctx = replace(ctx, num_threads=decision.num_threads)
+        fn = compile_node(node, node_ctx)
+        if split:
             fn = _split_per_group(fn, base_batch, batch_factor)
         frees = tuple(
             slot_of[t]
@@ -269,4 +417,6 @@ def compile_plan(
         slot_names=tuple(slot_names),
         workspace=workspace,
         verified=True,  # graph.validate() above ran the dataflow analyses
+        schedule=tuple(schedule),
+        profile_id=profile.name if profile is not None else None,
     )

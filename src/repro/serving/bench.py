@@ -15,6 +15,9 @@ The output contract (``BENCH_serving.json``):
 - ``verified``: every replica engine's plans passed static analysis
   (:attr:`EngineStats.verified <repro.runtime.EngineStats>`) — perf
   numbers trace to legal graphs;
+- ``device_profile``: the id of the :class:`~repro.hw.device.DeviceProfile`
+  in force on the replica engines (``"default"`` when uncalibrated) —
+  perf numbers trace to the cost model that priced them;
 - ``curves``: one row per offered-load point (at least three), each with
   ``offered_rps``/``achieved_rps``/counts/percentiles/``mean_batch``;
 - ``metrics``: the last gateway's unified registry snapshot.
@@ -96,10 +99,15 @@ def run_bench(
     curves: list[dict[str, Any]] = []
     verified = True
     metrics: dict[str, Any] = {}
+    device_profile = "default"
     for rate in rates:
         arrivals = generate_arrivals(profile, rate, duration_s, rng)
         with Gateway(models, config, trace=trace) as gateway:
             gateway.warmup(factors=(1, config.max_batch))
+            # The cost model in force on the replica engines ('default'
+            # unless a calibrated DeviceProfile was injected).
+            first = gateway.server(gateway.models[0]).engines[0]
+            device_profile = first.stats().profile_id
             report = run_load(
                 gateway, arrivals, lambda name: (inputs[name],)
             )
@@ -136,6 +144,7 @@ def run_bench(
             "scheduler": config.scheduler,
         },
         "verified": verified,
+        "device_profile": device_profile,
         "curves": curves,
         "metrics": metrics,
     }
@@ -150,6 +159,13 @@ def validate_bench_serving(obj: Any) -> list[str]:
         problems.append(f"suite must be 'serving_gateway', got {obj.get('suite')!r}")
     if not isinstance(obj.get("verified"), bool):
         problems.append("verified must be a bool")
+    if not isinstance(obj.get("device_profile"), str) or not obj.get(
+        "device_profile"
+    ):
+        problems.append(
+            "device_profile must be a non-empty string "
+            "(the active profile id, or 'default')"
+        )
     if not isinstance(obj.get("metrics"), dict) or not obj.get("metrics"):
         problems.append("metrics must be a non-empty snapshot object")
     curves = obj.get("curves")

@@ -1,0 +1,402 @@
+"""Tests for trace-fitted device profiles and the calibration stack.
+
+Covers the artifact layer (schema, IO, diff), the fit itself (synthetic
+recovery, degenerate fallbacks, real collect+fit round trips), the
+bit-identity contract of the bundled ``default`` profile, profile-steered
+plan compilation (scheduling changes, outputs do not), and the CLI
+surface (``calibrate``, ``profiles``, ``--profile`` error handling).
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.cli import main as cli_main
+from repro.converter import convert
+from repro.hw.calibrate import (
+    CalibrationSample,
+    _fit_class,
+    collect_samples,
+    fit_profile,
+)
+from repro.hw.device import (
+    DeviceModel,
+    DeviceProfile,
+    PROFILE_SCHEMA,
+    PROFILE_SCHEMA_VERSION,
+    ProfileError,
+    as_profile,
+    diff_profiles,
+    list_profiles,
+    load_profile,
+    save_profile,
+    validate_profile,
+)
+from repro.ops import ParamCache, node_cost
+from repro.runtime import Engine, compile_plan
+from repro.zoo import quicknet
+
+
+@pytest.fixture(scope="module")
+def small_model():
+    return convert(quicknet("small", input_size=32), in_place=True)
+
+
+@pytest.fixture(scope="module")
+def samples(small_model):
+    # Cheap collection settings: the fit-quality budget is gated by
+    # ``make calibrate-smoke``, not here; these tests assert structure
+    # and consistency, which hold at any noise level.
+    return collect_samples(
+        models=("quicknet_small",), input_size=32, repeats=2
+    )
+
+
+@pytest.fixture(scope="module")
+def calibrated(samples):
+    return fit_profile(samples, input_size=32, repeats=2)
+
+
+# ================================================================ fit math
+class TestFitClass:
+    def test_recovers_exact_affine_relation(self):
+        work = np.array([1e-4, 2e-4, 5e-4, 1e-3])
+        a, b = _fit_class(work, 2.5 * work + 3e-6)
+        assert a == pytest.approx(2.5, rel=1e-6)
+        assert b == pytest.approx(3e-6, rel=1e-6)
+
+    def test_single_sample_collapses_to_constant(self):
+        a, b = _fit_class(np.array([1e-4]), np.array([7e-5]))
+        assert a == 0.0
+        assert b == pytest.approx(7e-5)
+
+    def test_no_work_spread_collapses_to_constant(self):
+        measured = np.array([2e-5, 4e-5, 6e-5])
+        a, b = _fit_class(np.full(3, 1e-4), measured)
+        assert a == 0.0
+        assert b == pytest.approx(float(np.median(measured)))
+
+    def test_negative_intercept_falls_back_to_proportional(self):
+        # measured = 3*work - c would fit with b < 0; the constrained
+        # fallback must return b == 0 and a non-negative slope.
+        work = np.array([1e-4, 2e-4, 4e-4])
+        a, b = _fit_class(work, 3.0 * work - 5e-5)
+        assert b == 0.0
+        assert a >= 0.0
+
+    def test_coefficients_are_never_negative(self):
+        rng = np.random.default_rng(7)
+        for _ in range(20):
+            work = rng.uniform(1e-6, 1e-3, size=rng.integers(1, 6))
+            measured = rng.uniform(-1e-4, 1e-3, size=work.size)
+            a, b = _fit_class(work, measured)
+            assert a >= 0.0 and b >= 0.0
+            assert np.isfinite(a) and np.isfinite(b)
+
+
+class TestFitProfile:
+    def _synthetic(self):
+        out = []
+        for i, (op, op_class) in enumerate(
+            [("conv2d", "Full precision Conv2D")] * 3
+            + [("add", "Full precision Add")] * 3
+        ):
+            work = (i % 3 + 1) * 1e-4
+            factor = 2.0 if op == "conv2d" else 0.5
+            out.append(
+                CalibrationSample(
+                    model="m",
+                    node=f"n{i}",
+                    op=op,
+                    op_class=op_class,
+                    measured_s=factor * work + 1e-6,
+                    work_s=work,
+                )
+            )
+        return out
+
+    def test_synthetic_fit_recovers_per_op_coefficients(self):
+        profile = fit_profile(self._synthetic())
+        assert profile.op_factors["conv2d"] == pytest.approx(2.0, rel=1e-5)
+        assert profile.op_factors["add"] == pytest.approx(0.5, rel=1e-5)
+        assert profile.op_overhead_s["conv2d"] == pytest.approx(1e-6, rel=1e-4)
+        assert profile.fit.median_abs_pct_error == pytest.approx(0.0, abs=1e-6)
+
+    def test_fit_covers_both_granularities(self, samples, calibrated):
+        assert set(calibrated.op_factors) == {s.op for s in samples}
+        assert set(calibrated.class_factors) == {s.op_class for s in samples}
+        assert set(calibrated.op_overhead_s) == set(calibrated.op_factors)
+        assert calibrated.is_calibrated
+
+    def test_fit_report_provenance(self, samples, calibrated):
+        fit = calibrated.fit
+        assert fit.models == ("quicknet_small",)
+        assert (fit.input_size, fit.repeats) == (32, 2)
+        assert fit.samples == len(samples) == len(fit.residuals)
+        assert 0 <= fit.median_abs_pct_error <= fit.max_abs_pct_error
+        assert np.isfinite(fit.mean_abs_pct_error)
+
+    def test_zero_samples_rejected(self):
+        with pytest.raises(ValueError, match="zero samples"):
+            fit_profile([])
+
+    def test_collect_rejects_nonpositive_repeats(self):
+        with pytest.raises(ValueError, match="repeats"):
+            collect_samples(repeats=0)
+
+    def test_samples_cover_every_costed_node(self, samples, small_model):
+        # Every graph node with a cost hook must produce one sample.
+        assert {s.node for s in samples} == {
+            n.name for n in small_model.graph.nodes
+        }
+
+
+# ==================================================== pricing consistency
+class TestPricingConsistency:
+    def test_default_profile_is_bit_identical(self, small_model):
+        device = DeviceModel.pixel1()
+        profile = DeviceProfile.default(device)
+        assert not profile.is_calibrated
+        graph = small_model.graph
+        for node in graph.nodes:
+            ins = [graph.tensors[t] for t in node.inputs]
+            outs = [graph.tensors[t] for t in node.outputs]
+            raw = node_cost(device, node, ins, outs)
+            via = node_cost(profile, node, ins, outs)
+            assert raw == via
+
+    def test_node_cost_matches_fit_predictions(self, calibrated, small_model):
+        # The consistency chain that makes the calibrate-smoke gate
+        # meaningful: pricing the workload's own graph against the fitted
+        # profile reproduces the FitReport's predicted seconds exactly.
+        graph = small_model.graph
+        predicted = {r.node: r.predicted_s for r in calibrated.fit.residuals}
+        for node in graph.nodes:
+            ins = [graph.tensors[t] for t in node.inputs]
+            outs = [graph.tensors[t] for t in node.outputs]
+            cost = node_cost(calibrated, node, ins, outs)
+            assert cost.total_s == pytest.approx(
+                predicted[node.name], rel=1e-9
+            )
+
+    def test_op_keys_take_precedence_over_class_keys(self):
+        profile = DeviceProfile(
+            name="p",
+            device=DeviceModel.pixel1(),
+            class_factors={"Full precision Conv2D": 2.0},
+            class_overhead_s={"Full precision Conv2D": 1e-6},
+            op_factors={"conv2d": 5.0},
+            op_overhead_s={"conv2d": 9e-6},
+        )
+        assert profile.factor("Full precision Conv2D", "conv2d") == 5.0
+        assert profile.overhead_s("Full precision Conv2D", "conv2d") == 9e-6
+        # An op without its own entry falls back to the class fit...
+        assert profile.factor("Full precision Conv2D", "other") == 2.0
+        assert profile.overhead_s("Full precision Conv2D", "other") == 1e-6
+        # ...and an unseen class to the uncalibrated model.
+        assert profile.factor("Full precision Add", "add") == 1.0
+        assert profile.overhead_s("Full precision Add", "add") is None
+
+    def test_as_profile_coercions(self):
+        device = DeviceModel.rpi4b()
+        profile = as_profile(device)
+        assert profile.name == "default" and profile.device == device
+        assert as_profile(profile) is profile
+        with pytest.raises(TypeError):
+            as_profile("rpi4b")
+
+
+# =============================================================== artifacts
+class TestArtifactIO:
+    def test_save_load_round_trip(self, calibrated, tmp_path):
+        path = save_profile(calibrated, tmp_path / "cal.json")
+        loaded = load_profile(path)
+        assert loaded == calibrated
+
+    def test_list_profiles(self, calibrated, tmp_path):
+        save_profile(calibrated, tmp_path / "cal.json")
+        save_profile(DeviceProfile.default(), tmp_path / "def.json")
+        (tmp_path / "other.json").write_text('{"schema": "not-a-profile"}')
+        rows = {r["name"]: r for r in list_profiles(tmp_path)}
+        assert set(rows) == {"calibrated", "default"}
+        assert rows["calibrated"]["calibrated"] is True
+        assert rows["default"]["calibrated"] is False
+        assert rows["calibrated"]["samples"] == calibrated.fit.samples
+
+    def test_list_reports_invalid_profiles(self, tmp_path):
+        broken = DeviceProfile.default().to_json()
+        del broken["device"]["freq_hz"]
+        (tmp_path / "broken.json").write_text(json.dumps(broken))
+        rows = list_profiles(tmp_path)
+        assert len(rows) == 1 and "problems" in rows[0]
+
+    def test_diff_profiles(self, calibrated):
+        default = DeviceProfile.default()
+        diffs = diff_profiles(default, calibrated)
+        assert diffs["name"] == ("default", "calibrated")
+        assert any(k.startswith("op_factors.") for k in diffs)
+        assert diff_profiles(calibrated, calibrated) == {}
+
+    def test_load_missing_file_raises_profile_error(self, tmp_path):
+        with pytest.raises(ProfileError, match="cannot read"):
+            load_profile(tmp_path / "nope.json")
+
+    def test_load_invalid_json_raises_profile_error(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{not json")
+        with pytest.raises(ProfileError, match="not valid JSON"):
+            load_profile(path)
+
+    def test_validate_profile_problems(self):
+        good = DeviceProfile.default().to_json()
+        assert validate_profile(good) == []
+        assert validate_profile([]) != []
+
+        bad = dict(good, schema="wrong")
+        assert any("schema" in p for p in validate_profile(bad))
+
+        bad = dict(good, schema_version=PROFILE_SCHEMA_VERSION + 1)
+        assert any("newer" in p for p in validate_profile(bad))
+
+        bad = dict(good, op_factors={"conv2d": -1.0})
+        assert any(">= 0" in p for p in validate_profile(bad))
+
+        bad = dict(good, class_factors={"c": "fast"})
+        assert any("number" in p for p in validate_profile(bad))
+
+        bad = dict(good, device=dict(good["device"]))
+        del bad["device"]["l2_bytes"]
+        assert any("missing" in p for p in validate_profile(bad))
+
+        assert good["schema"] == PROFILE_SCHEMA  # sanity on the constant
+
+
+# ============================================== profile-steered scheduling
+class TestSteeredCompilation:
+    def test_parity_is_bit_exact(self, calibrated, small_model):
+        graph = small_model.graph
+        x = np.random.default_rng(3).standard_normal(
+            (2, 32, 32, 3)
+        ).astype(np.float32)
+        cache = ParamCache()
+        plain = compile_plan(graph, batch_factor=2, num_threads=2, cache=cache)
+        steered = compile_plan(
+            graph,
+            batch_factor=2,
+            num_threads=2,
+            cache=cache,
+            profile=calibrated,
+        )
+        ref = plain.execute([x])
+        out = steered.execute([x])
+        assert len(ref) == len(out)
+        for a, b in zip(ref, out):
+            assert np.array_equal(np.asarray(a), np.asarray(b))
+
+    def test_schedule_recorded_only_when_steered(self, calibrated, small_model):
+        graph = small_model.graph
+        plain = compile_plan(graph, batch_factor=2, num_threads=2)
+        steered = compile_plan(
+            graph, batch_factor=2, num_threads=2, profile=calibrated
+        )
+        assert plain.schedule == () and plain.profile_id is None
+        assert len(steered.schedule) == len(graph.nodes)
+        assert steered.profile_id == calibrated.name
+        for decision in steered.schedule:
+            assert decision.num_threads >= 1
+            assert decision.predicted_s > 0 and decision.default_s > 0
+
+    def test_engine_stats_report_profile(self, calibrated, small_model):
+        x = np.random.default_rng(3).standard_normal(
+            (1, 32, 32, 3)
+        ).astype(np.float32)
+        with Engine(small_model, profile=calibrated) as engine:
+            engine.run(x)
+            stats = engine.stats()
+        assert stats.profile_id == calibrated.name
+        assert stats.scheduled_nodes == len(small_model.graph.nodes)
+
+        with Engine(small_model) as engine:
+            engine.run(x)
+            assert engine.stats().profile_id == "default"
+
+
+# ===================================================================== CLI
+class TestCalibrateCLI:
+    def test_calibrate_writes_valid_artifact(self, tmp_path, capsys):
+        out = tmp_path / "profile.json"
+        assert cli_main([
+            "calibrate", "--models", "quicknet_small",
+            "--input-size", "32", "--repeats", "2", "--out", str(out),
+        ]) == 0
+        profile = load_profile(out)  # schema-validates on load
+        assert profile.is_calibrated
+        assert "|error| median" in capsys.readouterr().out
+
+    def test_calibrate_budget_exceeded_fails(self, tmp_path, capsys):
+        # An impossible budget must fail the gate with exit code 1 (the
+        # contract ``make calibrate-smoke`` relies on).
+        assert cli_main([
+            "calibrate", "--models", "quicknet_small",
+            "--input-size", "32", "--repeats", "2",
+            "--budget", "1e-9", "--out", str(tmp_path / "p.json"),
+        ]) == 1
+        assert "exceeds budget" in capsys.readouterr().err
+
+    def test_calibrate_rejects_bad_repeats(self, tmp_path):
+        assert cli_main([
+            "calibrate", "--repeats", "0", "--out", str(tmp_path / "p.json"),
+        ]) == 2
+
+    def test_profiles_list_show_diff(self, calibrated, tmp_path, capsys):
+        save_profile(calibrated, tmp_path / "cal.json")
+        save_profile(DeviceProfile.default(), tmp_path / "def.json")
+
+        assert cli_main(["profiles", "list", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "calibrated" in out and "default" in out
+
+        assert cli_main(["profiles", "show", str(tmp_path / "cal.json")]) == 0
+        assert "pixel1" in capsys.readouterr().out
+
+        assert cli_main([
+            "profiles", "diff",
+            str(tmp_path / "cal.json"), str(tmp_path / "def.json"),
+        ]) == 0
+        assert "->" in capsys.readouterr().out
+
+    def test_profiles_show_invalid_path_exits_2(self, tmp_path, capsys):
+        assert cli_main([
+            "profiles", "show", str(tmp_path / "missing.json")
+        ]) == 2
+        assert "profiles show:" in capsys.readouterr().err
+
+    def test_benchmark_invalid_profile_exits_2(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text('{"schema": "wrong"}')
+        assert cli_main([
+            "benchmark", "--model", "quicknet_small", "--input-size", "32",
+            "--profile", str(bad),
+        ]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("benchmark:") and "schema" in err
+
+    def test_profile_missing_profile_exits_2(self, tmp_path, capsys):
+        assert cli_main([
+            "profile", "--model", "quicknet_small", "--input-size", "32",
+            "--profile", str(tmp_path / "missing.json"),
+        ]) == 2
+        assert capsys.readouterr().err.startswith("profile:")
+
+    def test_benchmark_with_profile_prices_against_it(
+        self, calibrated, tmp_path, capsys
+    ):
+        path = save_profile(calibrated, tmp_path / "cal.json")
+        assert cli_main([
+            "benchmark", "--model", "quicknet_small", "--input-size", "32",
+            "--profile", str(path),
+        ]) == 0
+        assert "profile 'calibrated'" in capsys.readouterr().out
