@@ -1,6 +1,6 @@
 # Convenience targets for the LCE reproduction.
 
-.PHONY: test test-fast test-slow test-serving lint analyze check trace-smoke serve-smoke calibrate-smoke bench bench-fast bench-serving experiments appendix extensions examples all
+.PHONY: test test-fast test-slow test-serving lint analyze check trace-smoke serve-smoke calibrate-smoke tune-smoke bench bench-fast bench-serving experiments appendix extensions examples all
 
 test:
 	pytest tests/
@@ -15,7 +15,7 @@ lint:
 analyze:
 	PYTHONPATH=src python -m repro.cli analyze
 
-check: lint analyze test-fast test-serving trace-smoke serve-smoke calibrate-smoke
+check: lint analyze test-fast test-serving trace-smoke serve-smoke calibrate-smoke tune-smoke
 
 # End-to-end observability smoke: trace a QuickNet-small engine run,
 # schema-validate the Chrome-trace export, and print the unified metrics
@@ -50,6 +50,19 @@ calibrate-smoke:
 		--out /tmp/repro-profile-smoke.json
 	PYTHONPATH=src python -m repro.cli profiles show /tmp/repro-profile-smoke.json
 
+# Autotuner gate: bounded schedule search over the first two unique
+# QuickNet-small conv geometries, writing a schema-validated tuning-cache
+# artifact.  ``cli tune`` re-measures every winning schedule against the
+# default after the search and exits 1 if a tuned schedule is slower, so
+# this also asserts tuned >= untuned; ``tuning show`` round-trips the
+# artifact through the loader's schema oracle.
+tune-smoke:
+	PYTHONPATH=src python -m repro.cli tune --model quicknet_small \
+		--input-size 32 --repeats 3 --max-candidates 8 \
+		--geometry-limit 2 --name smoke \
+		--out /tmp/repro-tuning-smoke.json
+	PYTHONPATH=src python -m repro.cli tuning show /tmp/repro-tuning-smoke.json
+
 # End-to-end serving smoke: a short loadgen sweep through the gateway,
 # schema-validating BENCH_serving.json and the exported Chrome trace.
 # ``cli loadgen`` exits non-zero on any validation problem.
@@ -63,7 +76,8 @@ bench:
 	pytest benchmarks/ --benchmark-only
 
 # Kernel micro-benchmarks only; writes machine-readable BENCH_kernels.json
-# (per-kernel ns/call and MACs/s, plus the plan-vs-dynamic speedup).
+# (per-kernel ns/call and MACs/s, plus per-geometry dynamic/plan/tuned
+# speedups from an in-process autotune search).
 bench-fast:
 	pytest benchmarks/test_kernel_microbench.py --benchmark-only
 

@@ -7,7 +7,11 @@ now has a schema oracle returning a list of human-readable problems —
 empty when valid — that the writing benchmark asserts before the file
 lands.  All three artifacts must stamp ``device_profile`` (the id of the
 :class:`~repro.hw.device.DeviceProfile` in force, or ``"default"``) so
-every recorded number traces to the cost model that priced it.
+every recorded number traces to the cost model that priced it; the kernel
+suite additionally stamps ``tuning_cache`` (the id of the
+:class:`~repro.tune.TuningCache` in force, or ``"none"``) and records
+per-geometry dynamic/plan/tuned timings so autotuner wins are visible and
+regressions are caught row by row.
 """
 
 from __future__ import annotations
@@ -16,6 +20,15 @@ from typing import Any
 
 #: numeric fields every BENCH_kernels.json kernel row must carry
 KERNEL_FIELDS = ("ns_per_call", "macs_per_s")
+
+#: numeric fields every BENCH_kernels.json per-geometry row must carry
+GEOMETRY_FIELDS = (
+    "dynamic_ns",
+    "plan_ns",
+    "tuned_ns",
+    "speedup_plan",
+    "speedup_tuned",
+)
 
 #: numeric fields every BENCH_engine.json row must carry
 ENGINE_ROW_FIELDS = (
@@ -53,6 +66,32 @@ def validate_bench_kernels(obj: Any) -> list[str]:
             obj.get(key), bool
         ):
             problems.append(f"{key} missing or non-numeric")
+    tuning = obj.get("tuning_cache")
+    if not isinstance(tuning, str) or not tuning:
+        problems.append(
+            "tuning_cache must be a non-empty string "
+            "(the active tuning-cache id, or 'none')"
+        )
+    geometries = obj.get("geometries")
+    if not isinstance(geometries, list) or not geometries:
+        problems.append("geometries must be a non-empty list")
+    else:
+        for i, row in enumerate(geometries):
+            if not isinstance(row, dict):
+                problems.append(f"geometries[{i}] must be an object")
+                continue
+            if not isinstance(row.get("shape"), str) or not row.get("shape"):
+                problems.append(f"geometries[{i}].shape missing or empty")
+            for key in GEOMETRY_FIELDS:
+                value = row.get(key)
+                if not isinstance(value, (int, float)) or isinstance(
+                    value, bool
+                ):
+                    problems.append(
+                        f"geometries[{i}].{key} missing or non-numeric"
+                    )
+                elif value <= 0:
+                    problems.append(f"geometries[{i}].{key} must be positive")
     kernels = obj.get("kernels")
     if not isinstance(kernels, list) or not kernels:
         problems.append("kernels must be a non-empty list")

@@ -11,28 +11,28 @@ and L004 trailing whitespace.
 
 **Contract rules** (repo-specific; nothing else enforces them):
 
-- L101: functions in ``core/`` or ``serving/`` that take a ``workspace``
-  parameter are steady-state kernels and must not call ``np.zeros``/
-  ``np.empty``/``np.concatenate``-style allocators, except lexically
-  inside the documented allocating fallback (the body of
+- L101: functions in ``core/``, ``serving/`` or ``tune/`` that take a
+  ``workspace`` parameter are steady-state kernels and must not call
+  ``np.zeros``/``np.empty``/``np.concatenate``-style allocators, except
+  lexically inside the documented allocating fallback (the body of
   ``if <param> is None:`` or the else of ``if <param> is not None:``).
 - L102: every op registered in :mod:`repro.ops` ships an attribute
   schema, shape inference, a kernel factory and a cost hook (or an entry
   in ``COST_EXEMPT_OPS``) — checked at lint time, not first use.
 - L103: module-level mutable caches in ``core/``/``runtime/``/``obs/``/
-  ``serving/`` (plus ``hw/calibrate.py``) mutated from functions require
-  a module-level ``threading.Lock``/``RLock`` (the ``core.indirection``
-  memoization idiom).
+  ``serving/``/``tune/`` (plus ``hw/calibrate.py``) mutated from
+  functions require a module-level ``threading.Lock``/``RLock`` (the
+  ``core.indirection`` memoization idiom).
 - L104: compiled-plan and serving paths (``core/``, ``runtime/``,
-  ``ops/``, ``obs/``, ``serving/``, plus ``hw/calibrate.py`` — the
-  calibration recorder drives the engine and must be as deterministic as
-  the runtime it measures) must not use ``np.random``/``random``/
-  ``secrets``/``os.urandom`` or wall-clock ``time.time`` (monotonic
-  timers are fine).  The tracer's single recording-boundary wall-clock
-  anchor in ``obs/trace.py``, the serving bench's seeded-generator
-  boundary in ``serving/bench.py`` and the calibration input-data
-  generator in ``hw/calibrate.py`` carry justified ``allow[L104]``
-  suppressions.
+  ``ops/``, ``obs/``, ``serving/``, ``tune/``, plus ``hw/calibrate.py``
+  — the calibration recorder and the kernel autotuner drive the engine
+  kernels and must be as deterministic as the runtime they measure) must
+  not use ``np.random``/``random``/``secrets``/``os.urandom`` or
+  wall-clock ``time.time`` (monotonic timers are fine).  The tracer's
+  single recording-boundary wall-clock anchor in ``obs/trace.py``, the
+  serving bench's seeded-generator boundary in ``serving/bench.py`` and
+  the seeded input-data generators in ``hw/calibrate.py`` and
+  ``tune/search.py`` carry justified ``allow[L104]`` suppressions.
 
 Suppression: append ``# repro: allow[L101] <justification>`` to the
 offending line.  A suppression without a justification is itself an error
@@ -83,18 +83,18 @@ def _hw_contract_file(path: pathlib.Path) -> bool:
 
 
 def _in_core(path: pathlib.Path) -> bool:
-    return bool(_segments(path) & {"core", "serving"})
+    return bool(_segments(path) & {"core", "serving", "tune"})
 
 
 def _needs_cache_guard(path: pathlib.Path) -> bool:
     return bool(
-        _segments(path) & {"core", "runtime", "obs", "serving"}
+        _segments(path) & {"core", "runtime", "obs", "serving", "tune"}
     ) or _hw_contract_file(path)
 
 
 def _in_plan_path(path: pathlib.Path) -> bool:
     return bool(
-        _segments(path) & {"core", "runtime", "ops", "obs", "serving"}
+        _segments(path) & {"core", "runtime", "ops", "obs", "serving", "tune"}
     ) or _hw_contract_file(path)
 
 

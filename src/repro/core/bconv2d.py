@@ -25,7 +25,13 @@ import numpy as np
 
 from repro.core.bgemm import bgemm_blocked
 from repro.core.bitpack import PackedTensor, pack_bits, packed_words, unpack_bits
-from repro.core.indirection import Indirection, get_indirection, im2col_indirect
+from repro.core.kernel_config import DEFAULT_CONFIG, KernelConfig
+from repro.core.indirection import (
+    Indirection,
+    get_indirection,
+    im2col_direct,
+    im2col_indirect,
+)
 from repro.core.threading import bgemm_parallel, bgemm_scratch_spec
 from repro.core.im2col import conv_geometry, padded_tap_mask
 from repro.core.workspace import Workspace, WorkspacePool
@@ -163,6 +169,7 @@ def bconv2d(
     num_threads: int = 1,
     indirection: Indirection | None = None,
     workspace: Workspace | None = None,
+    config: KernelConfig | None = None,
 ) -> np.ndarray | PackedTensor:
     """Execute a binarized 2-D convolution.
 
@@ -190,6 +197,11 @@ def bconv2d(
             accumulator temporaries.  With a workspace the steady-state call
             performs no NumPy allocations; without one behaviour matches the
             original allocating path.  Results are bit-identical either way.
+        config: a :class:`~repro.core.kernel_config.KernelConfig` choosing
+            the BGEMM tiling, im2col strategy and thread grain — typically
+            a per-geometry winner from the :mod:`repro.tune` cache.  Every
+            config is bit-exactness-preserving; ``None`` means
+            :data:`~repro.core.kernel_config.DEFAULT_CONFIG`.
 
     Returns:
         ``(N, out_h, out_w, out_channels)`` float32 array, or a
@@ -213,12 +225,14 @@ def bconv2d(
             params.dilation, params.padding,
         )
     geom = indirection.geom
+    if config is None:
+        config = DEFAULT_CONFIG
     if params.groups > 1:
         acc = _grouped_accumulators(
-            x, filters, params, num_threads, indirection, workspace
+            x, filters, params, num_threads, indirection, workspace, config
         )
     else:
-        patches = im2col_indirect(x, indirection, workspace)
+        patches = _im2col(x, indirection, workspace, config)
         out = None
         if workspace is not None:
             out = workspace.take(
@@ -226,7 +240,7 @@ def bconv2d(
             )
         acc = _bgemm(
             patches, filters.bits, params.depth, num_threads,
-            out=out, workspace=workspace,
+            out=out, workspace=workspace, config=config,
         )
     acc = acc.reshape(n, geom.out_h * geom.out_w, params.out_channels)
 
@@ -268,6 +282,18 @@ def bconv2d(
     )
 
 
+def _im2col(
+    x: PackedTensor,
+    indirection: Indirection,
+    workspace: Workspace | None,
+    config: KernelConfig,
+) -> np.ndarray:
+    """Materialize patches via the config's strategy (identical layouts)."""
+    if config.im2col == "direct":
+        return im2col_direct(x, indirection, workspace)
+    return im2col_indirect(x, indirection, workspace)
+
+
 def _bgemm(
     a: np.ndarray,
     b: np.ndarray,
@@ -275,13 +301,21 @@ def _bgemm(
     num_threads: int,
     out: np.ndarray | None = None,
     workspace: Workspace | None = None,
+    config: KernelConfig = DEFAULT_CONFIG,
 ) -> np.ndarray:
     """Dispatch to the threaded BGEMM when asked; bit-identical either way."""
     if num_threads > 1:
         return bgemm_parallel(
-            a, b, depth, num_threads=num_threads, out=out, workspace=workspace
+            a, b, depth, num_threads=num_threads,
+            tile_m=config.tile_m, tile_n=config.tile_n,
+            out=out, workspace=workspace,
+            tile_k_words=config.tile_k_words,
+            thread_grain=config.thread_grain,
         )
-    return bgemm_blocked(a, b, depth, out=out, workspace=workspace)
+    return bgemm_blocked(
+        a, b, depth, tile_m=config.tile_m, tile_n=config.tile_n,
+        out=out, workspace=workspace, tile_k_words=config.tile_k_words,
+    )
 
 
 def _grouped_accumulators(
@@ -291,6 +325,7 @@ def _grouped_accumulators(
     num_threads: int = 1,
     indirection: Indirection | None = None,
     workspace: Workspace | None = None,
+    config: KernelConfig = DEFAULT_CONFIG,
 ) -> np.ndarray:
     """Grouped convolution: per-group im2col + BGEMM into one accumulator.
 
@@ -333,10 +368,11 @@ def _grouped_accumulators(
             wg_bits = pack_filters(
                 dense_w[:, :, :, g * cout_g : (g + 1) * cout_g]
             ).bits
-        patches = im2col_indirect(xg, indirection, workspace)
+        patches = _im2col(xg, indirection, workspace, config)
         _bgemm(
             patches, wg_bits, params.depth, num_threads,
             out=acc[:, g * cout_g : (g + 1) * cout_g], workspace=workspace,
+            config=config,
         )
     return acc
 
@@ -348,14 +384,21 @@ def reserve_bconv2d_workspace(
     in_w: int,
     batch: int,
     num_threads: int = 1,
+    config: KernelConfig | None = None,
 ) -> Indirection:
     """Reserve every scratch buffer one ``bconv2d`` call will take.
 
     Called by kernel factories at plan-compile time so the plan's
     :class:`~repro.core.workspace.WorkspacePool` preallocates the arena at
-    the max size over all nodes.  Returns the (memoized) indirection for
-    the geometry so the factory can pin it on the node's params.
+    the max size over all nodes.  ``config`` must match what the run-time
+    call will use — tuned tile sizes change the BGEMM scratch shapes, and
+    reserving the wrong ones would make steady-state calls grow the arena
+    (breaking the no-allocation contract).  Returns the (memoized)
+    indirection for the geometry so the factory can pin it on the node's
+    params.
     """
+    if config is None:
+        config = DEFAULT_CONFIG
     ind = get_indirection(
         in_h, in_w, params.kernel_h, params.kernel_w, params.stride,
         params.dilation, params.padding,
@@ -370,7 +413,13 @@ def reserve_bconv2d_workspace(
     pool.reserve("bconv/acc", m * params.out_channels, np.int32)
     # Grouped calls run BGEMM per group with narrower operands; the
     # ungrouped sizes below dominate, so one reservation covers both.
-    for name, size, dtype in bgemm_scratch_spec(m, params.out_channels, num_threads):
+    for name, size, dtype in bgemm_scratch_spec(
+        m, params.out_channels, num_threads,
+        tile_m=config.tile_m, tile_n=config.tile_n,
+        tile_k_words=config.tile_k_words,
+        words=ind.taps * words,
+        thread_grain=config.thread_grain,
+    ):
         pool.reserve(name, size, dtype)
     return ind
 

@@ -39,6 +39,24 @@ _TILE_M = 256
 _TILE_N = 128
 
 
+def _check_tiles(tile_m: int, tile_n: int, tile_k_words: int = 1) -> None:
+    """Validate tile sizes for the blocked/parallel kernels.
+
+    Non-positive (or non-integer) tiles would make the panel ``range``
+    loops empty and silently leave ``out`` unwritten, so every entry
+    point rejects them up front — the tuner explores adversarial grids
+    and must get a loud error, never garbage output.  Tiles *larger*
+    than the matrix are legal: slicing clamps them to the edge.
+    """
+    for name, value in (
+        ("tile_m", tile_m), ("tile_n", tile_n), ("tile_k_words", tile_k_words)
+    ):
+        if not isinstance(value, (int, np.integer)) or isinstance(value, bool):
+            raise TypeError(f"{name} must be an integer, got {value!r}")
+        if value < 1:
+            raise ValueError(f"{name} must be >= 1, got {value}")
+
+
 def _check_operands(a: np.ndarray, b: np.ndarray, depth: int) -> None:
     if a.dtype != np.uint64 or b.dtype != np.uint64:
         raise TypeError(f"BGEMM operands must be uint64, got {a.dtype}/{b.dtype}")
@@ -91,15 +109,21 @@ def _tile_into(
     out_view: np.ndarray,
     workspace: Workspace | None,
     prefix: str,
+    tile_k_words: int = 1,
 ) -> None:
     """One ``tile_m x tile_n`` output panel: XOR -> popcount -> transform.
 
-    With a workspace, the panel is computed one word column at a time into
-    reused 2-D arena buffers under ``{prefix}/xor|pop|out``: each temporary
-    is ``(tile_m, tile_n)`` and stays cache-resident regardless of the
-    word count, where the allocating variant materializes the full 3-D
+    With a workspace and ``tile_k_words == 1``, the panel is computed one
+    word column at a time into reused 2-D arena buffers under
+    ``{prefix}/xor|pop|out``: each temporary is ``(tile_m, tile_n)`` and
+    stays cache-resident regardless of the word count.  ``tile_k_words >
+    1`` instead materializes 3-D XOR blocks of that many packed words
+    (``{prefix}/xor3|pop3|ksum``) — fewer, larger NumPy dispatches, the
+    winning trade-off for some small-M geometries; a value ``>= words``
+    reproduces the full-broadcast kernel inside the arena.  The
+    allocating variant (no workspace) always materializes the full 3-D
     ``(tile_m, tile_n, words)`` XOR broadcast.  Per-word popcounts are
-    exact uint8 values (<= 64) summed in int32, so both variants perform
+    exact uint8 values (<= 64) summed in int32, so every variant performs
     identical integer arithmetic and results are bit-equal.
     """
     if workspace is None:
@@ -109,14 +133,31 @@ def _tile_into(
         return
     mt, words = a_panel.shape
     nt = b_panel.shape[0]
-    x = workspace.take(f"{prefix}/xor", (mt, nt), np.uint64)
-    counts = workspace.take(f"{prefix}/pop", (mt, nt), np.uint8)
     pops = workspace.take(f"{prefix}/out", (mt, nt), np.int32)
     pops[...] = 0
-    for w in range(words):
-        np.bitwise_xor(a_panel[:, w, None], b_panel[None, :, w], out=x)
-        popcount(x, out=counts)
-        np.add(pops, counts, out=pops)
+    if tile_k_words == 1:
+        x = workspace.take(f"{prefix}/xor", (mt, nt), np.uint64)
+        counts = workspace.take(f"{prefix}/pop", (mt, nt), np.uint8)
+        for w in range(words):
+            np.bitwise_xor(a_panel[:, w, None], b_panel[None, :, w], out=x)
+            popcount(x, out=counts)
+            np.add(pops, counts, out=pops)
+    else:
+        kb = min(tile_k_words, words)
+        ksum = workspace.take(f"{prefix}/ksum", (mt, nt), np.int32)
+        x3 = workspace.take(f"{prefix}/xor3", (mt, nt, kb), np.uint64)
+        c3 = workspace.take(f"{prefix}/pop3", (mt, nt, kb), np.uint8)
+        for w0 in range(0, words, kb):
+            wb = min(kb, words - w0)
+            xv, cv = x3[:, :, :wb], c3[:, :, :wb]
+            np.bitwise_xor(
+                a_panel[:, None, w0 : w0 + wb],
+                b_panel[None, :, w0 : w0 + wb],
+                out=xv,
+            )
+            popcount(xv, out=cv)
+            np.sum(cv, axis=2, dtype=np.int32, out=ksum)
+            np.add(pops, ksum, out=pops)
     # depth - 2*pop, computed in place: pops * -2 + depth (exact int32).
     np.multiply(pops, np.int32(-2), out=pops)
     np.add(pops, np.int32(depth), out=pops)
@@ -142,19 +183,23 @@ def bgemm_blocked(
     out: np.ndarray | None = None,
     workspace: Workspace | None = None,
     prefix: str = "bgemm",
+    tile_k_words: int = 1,
 ) -> np.ndarray:
     """Cache-tiled BGEMM mirroring Ruy-style panel blocking.
 
     Processes ``tile_m x tile_n`` output panels so the XOR temporary stays
-    small regardless of problem size.  Bit-identical to :func:`bgemm`.
+    small regardless of problem size.  Bit-identical to :func:`bgemm` for
+    any legal tiling — tiles larger than the matrix clamp to the edge,
+    non-divisor tiles leave ragged edge panels, and ``tile_k_words``
+    blocks the word-column loop (see :func:`_tile_into`); the per-tile
+    arithmetic is exact int32 either way.
 
     ``out`` (int32, ``(M, N)``) and ``workspace`` make the call
     allocation-free: accumulators land in ``out`` and the per-tile
     temporaries live in reused arena buffers named ``{prefix}/*``.
     """
     _check_operands(a, b, depth)
-    if tile_m <= 0 or tile_n <= 0:
-        raise ValueError("tile sizes must be positive")
+    _check_tiles(tile_m, tile_n, tile_k_words)
     m = a.shape[0]
     n = b.shape[0]
     out = _check_out(out, m, n)
@@ -173,6 +218,7 @@ def bgemm_blocked(
                 out[i0 : i0 + tile_m, j0 : j0 + tile_n],
                 workspace,
                 prefix,
+                tile_k_words,
             )
     if tracer.enabled:
         tracer.record(

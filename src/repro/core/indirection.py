@@ -224,35 +224,15 @@ def im2col_indirect(
 
     Returns ``(N * pixels, taps * words)`` uint64 patches.
     """
-    bits = x.bits
-    if bits.ndim != 4:
-        raise ValueError(f"expected packed NHWC input, got {bits.ndim}-D")
+    bits = _checked_bits(x, ind)
     n, in_h, in_w, words = bits.shape
-    if (in_h, in_w) != (ind.in_h, ind.in_w):
-        raise ValueError(
-            f"input is {in_h}x{in_w} but indirection was built for "
-            f"{ind.in_h}x{ind.in_w}"
-        )
-    geom = ind.geom
-    if not ind.has_spatial_padding:
+    src = _staged_source(bits, ind, workspace)
+    if src is bits:
         # VALID (or degenerate SAME) geometry: gather straight from the
         # input plane, no padded staging buffer needed.
         flat_src = np.ascontiguousarray(bits).reshape(n, in_h * in_w, words)
     else:
-        if workspace is None:
-            padded = np.zeros((n, ind.padded_h, ind.padded_w, words), np.uint64)
-        else:
-            padded = workspace.take(
-                "bconv/padded", (n, ind.padded_h, ind.padded_w, words), np.uint64
-            )
-            _zero_border(padded, geom, in_h, in_w)
-        padded[
-            :,
-            geom.pad_top : geom.pad_top + in_h,
-            geom.pad_left : geom.pad_left + in_w,
-            :,
-        ] = bits
-        flat_src = padded.reshape(n, ind.padded_h * ind.padded_w, words)
+        flat_src = src.reshape(n, ind.padded_h * ind.padded_w, words)
     shape = (n, ind.pixels * ind.taps, words)
     if workspace is None:
         patches = np.take(flat_src, ind.flat_index, axis=1)
@@ -260,6 +240,91 @@ def im2col_indirect(
         patches = workspace.take("bconv/patches", shape, np.uint64)
         np.take(flat_src, ind.flat_index, axis=1, out=patches)
     return patches.reshape(n * ind.pixels, ind.taps * words)
+
+
+def im2col_direct(
+    x: PackedTensor,
+    ind: Indirection,
+    workspace: Workspace | None = None,
+) -> np.ndarray:
+    """im2col via one strided-slice copy per kernel tap.
+
+    Bit-identical to :func:`im2col_indirect` — the patch buffer is viewed
+    as ``(N, out_h, out_w, taps, words)`` and each tap's plane is written
+    by a direct strided slice of the (padded) input, which lands words in
+    exactly the positions the flat gather would.  Trades ``taps`` large
+    contiguous copies for the single fancy-index gather; the per-geometry
+    tuner measures which wins.  Shares the padded staging buffer
+    (``bconv/padded``) and the patch buffer (``bconv/patches``) with the
+    indirect path, so plans can switch strategy per node without growing
+    the arena.
+    """
+    bits = _checked_bits(x, ind)
+    n, _, _, words = bits.shape
+    src = _staged_source(bits, ind, workspace)
+    out_h, out_w = ind.geom.out_h, ind.geom.out_w
+    shape = (n, ind.pixels * ind.taps, words)
+    if workspace is None:
+        patches = np.empty(shape, np.uint64)
+    else:
+        patches = workspace.take("bconv/patches", shape, np.uint64)
+    view = patches.reshape(n, out_h, out_w, ind.taps, words)
+    stride, dilation = ind.stride, ind.dilation
+    tap = 0
+    for ky in range(ind.kernel_h):
+        r0 = ky * dilation
+        for kx in range(ind.kernel_w):
+            c0 = kx * dilation
+            view[:, :, :, tap, :] = src[
+                :,
+                r0 : r0 + (out_h - 1) * stride + 1 : stride,
+                c0 : c0 + (out_w - 1) * stride + 1 : stride,
+                :,
+            ]
+            tap += 1
+    return patches.reshape(n * ind.pixels, ind.taps * words)
+
+
+def _checked_bits(x: PackedTensor, ind: Indirection) -> np.ndarray:
+    bits = x.bits
+    if bits.ndim != 4:
+        raise ValueError(f"expected packed NHWC input, got {bits.ndim}-D")
+    _, in_h, in_w, _ = bits.shape
+    if (in_h, in_w) != (ind.in_h, ind.in_w):
+        raise ValueError(
+            f"input is {in_h}x{in_w} but indirection was built for "
+            f"{ind.in_h}x{ind.in_w}"
+        )
+    return bits
+
+
+def _staged_source(
+    bits: np.ndarray, ind: Indirection, workspace: Workspace | None
+) -> np.ndarray:
+    """The 4-D spatial source both im2col strategies read from.
+
+    Returns ``bits`` itself for geometries without spatial padding;
+    otherwise stages the input into the (shared) ``bconv/padded`` buffer
+    with a zeroed border, exactly as the indirect path always has.
+    """
+    if not ind.has_spatial_padding:
+        return bits
+    n, in_h, in_w, words = bits.shape
+    geom = ind.geom
+    if workspace is None:
+        padded = np.zeros((n, ind.padded_h, ind.padded_w, words), np.uint64)
+    else:
+        padded = workspace.take(
+            "bconv/padded", (n, ind.padded_h, ind.padded_w, words), np.uint64
+        )
+        _zero_border(padded, geom, in_h, in_w)
+    padded[
+        :,
+        geom.pad_top : geom.pad_top + in_h,
+        geom.pad_left : geom.pad_left + in_w,
+        :,
+    ] = bits
+    return padded
 
 
 def _zero_border(padded: np.ndarray, geom: ConvGeometry, in_h: int, in_w: int) -> None:

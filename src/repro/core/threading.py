@@ -23,7 +23,14 @@ from typing import TYPE_CHECKING
 
 import numpy as np
 
-from repro.core.bgemm import _TILE_M, _TILE_N, _check_operands, _check_out, _tile_into
+from repro.core.bgemm import (
+    _TILE_M,
+    _TILE_N,
+    _check_operands,
+    _check_out,
+    _check_tiles,
+    _tile_into,
+)
 from repro.core.bgemm import bgemm_blocked
 from repro.obs.trace import active_tracer
 
@@ -31,10 +38,17 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.core.workspace import Workspace
 
 
-def _num_slots(m: int, tile_m: int, num_threads: int) -> int:
-    """How many scratch slots a parallel BGEMM over ``m`` rows uses."""
+def _num_slots(
+    m: int, tile_m: int, num_threads: int, thread_grain: int = 1
+) -> int:
+    """How many scratch slots a parallel BGEMM over ``m`` rows uses.
+
+    ``thread_grain`` groups that many consecutive row tiles into one
+    assignment unit, so coarser grains can need fewer slots.
+    """
     num_tiles = -(-m // tile_m)
-    return min(num_threads, num_tiles)
+    num_units = -(-num_tiles // thread_grain)
+    return min(num_threads, num_units)
 
 
 def bgemm_scratch_spec(
@@ -44,29 +58,46 @@ def bgemm_scratch_spec(
     tile_m: int = _TILE_M,
     tile_n: int = _TILE_N,
     prefix: str = "bgemm",
+    tile_k_words: int = 1,
+    words: int | None = None,
+    thread_grain: int = 1,
 ) -> list[tuple[str, int, np.dtype]]:
     """The ``(name, size, dtype)`` scratch reservations a BGEMM call needs.
 
     Mirrors the dispatch in :func:`bgemm_parallel`: single-threaded (or
     single-tile) calls use unslotted ``{prefix}/*`` buffers, parallel calls
     use one ``{prefix}/{slot}/*`` set per slot.  The word-at-a-time tile
-    kernel uses 2-D temporaries, so sizes depend only on the tile shape,
-    not the operand word count.  Kernel factories feed this into
+    kernel (``tile_k_words == 1``) uses 2-D temporaries whose sizes depend
+    only on the tile shape; K-blocked tiles (``tile_k_words > 1``) add 3-D
+    XOR/popcount blocks sized by ``words`` (required then).  Kernel
+    factories feed this into
     :meth:`repro.core.workspace.WorkspacePool.reserve` at plan-compile
     time so the arena is fully sized before the first inference.
     """
+    _check_tiles(tile_m, tile_n, tile_k_words)
     mt = min(tile_m, m)
     nt = min(tile_n, n)
     if num_threads == 1 or m <= tile_m:
         prefixes = [prefix]
     else:
         prefixes = [
-            f"{prefix}/{slot}" for slot in range(_num_slots(m, tile_m, num_threads))
+            f"{prefix}/{slot}"
+            for slot in range(_num_slots(m, tile_m, num_threads, thread_grain))
         ]
+    kb = 0
+    if tile_k_words > 1:
+        if words is None:
+            raise ValueError("tile_k_words > 1 requires the operand word count")
+        kb = min(tile_k_words, words)
     spec: list[tuple[str, int, np.dtype]] = []
     for p in prefixes:
-        spec.append((f"{p}/xor", mt * nt, np.dtype(np.uint64)))
-        spec.append((f"{p}/pop", mt * nt, np.dtype(np.uint8)))
+        if kb:
+            spec.append((f"{p}/xor3", mt * nt * kb, np.dtype(np.uint64)))
+            spec.append((f"{p}/pop3", mt * nt * kb, np.dtype(np.uint8)))
+            spec.append((f"{p}/ksum", mt * nt, np.dtype(np.int32)))
+        else:
+            spec.append((f"{p}/xor", mt * nt, np.dtype(np.uint64)))
+            spec.append((f"{p}/pop", mt * nt, np.dtype(np.uint8)))
         spec.append((f"{p}/out", mt * nt, np.dtype(np.int32)))
     return spec
 
@@ -81,6 +112,8 @@ def bgemm_parallel(
     out: np.ndarray | None = None,
     workspace: Workspace | None = None,
     prefix: str = "bgemm",
+    tile_k_words: int = 1,
+    thread_grain: int = 1,
 ) -> np.ndarray:
     """Blocked BGEMM with row panels distributed over a thread pool.
 
@@ -88,38 +121,59 @@ def bgemm_parallel(
     disjoint output rows so no synchronization is needed, and tile-to-slot
     assignment cannot affect results.  ``out``/``workspace`` behave as in
     ``bgemm_blocked`` with per-slot scratch (see module docstring).
+    ``thread_grain`` assigns that many *consecutive* row tiles per unit of
+    the round-robin slot schedule (coarser grains trade load balance for
+    contiguous output writes); any grain computes the same tiles.
     """
     _check_operands(a, b, depth)
+    # Validate tiles before the dispatch below: the parallel branch used
+    # to skip validation entirely, so a non-positive tile_n made every
+    # worker's panel range empty and returned uninitialized output.
+    _check_tiles(tile_m, tile_n, tile_k_words)
     if num_threads <= 0:
         raise ValueError(f"num_threads must be positive, got {num_threads}")
+    if not isinstance(thread_grain, (int, np.integer)) or isinstance(
+        thread_grain, bool
+    ):
+        raise TypeError(f"thread_grain must be an integer, got {thread_grain!r}")
+    if thread_grain < 1:
+        raise ValueError(f"thread_grain must be >= 1, got {thread_grain}")
     m = a.shape[0]
     n = b.shape[0]
     if num_threads == 1 or m <= tile_m:
         return bgemm_blocked(
-            a, b, depth, tile_m, tile_n, out=out, workspace=workspace, prefix=prefix
+            a, b, depth, tile_m, tile_n, out=out, workspace=workspace,
+            prefix=prefix, tile_k_words=tile_k_words,
         )
     out = _check_out(out, m, n)
     tiles = range(0, m, tile_m)
-    slots = _num_slots(m, tile_m, num_threads)
+    units = [
+        tiles[u : u + thread_grain] for u in range(0, len(tiles), thread_grain)
+    ]
+    slots = _num_slots(m, tile_m, num_threads, thread_grain)
     if workspace is not None:
         for name, size, dtype in bgemm_scratch_spec(
-            m, n, num_threads, tile_m, tile_n, prefix
+            m, n, num_threads, tile_m, tile_n, prefix,
+            tile_k_words=tile_k_words, words=int(a.shape[1]),
+            thread_grain=thread_grain,
         ):
             workspace.reserve(name, size, dtype)
 
     def worker(slot: int) -> None:
         slot_prefix = f"{prefix}/{slot}"
-        for i0 in tiles[slot::slots]:
-            a_panel = a[i0 : i0 + tile_m]
-            for j0 in range(0, n, tile_n):
-                _tile_into(
-                    a_panel,
-                    b[j0 : j0 + tile_n],
-                    depth,
-                    out[i0 : i0 + tile_m, j0 : j0 + tile_n],
-                    workspace,
-                    slot_prefix,
-                )
+        for unit in units[slot::slots]:
+            for i0 in unit:
+                a_panel = a[i0 : i0 + tile_m]
+                for j0 in range(0, n, tile_n):
+                    _tile_into(
+                        a_panel,
+                        b[j0 : j0 + tile_n],
+                        depth,
+                        out[i0 : i0 + tile_m, j0 : j0 + tile_n],
+                        workspace,
+                        slot_prefix,
+                        tile_k_words,
+                    )
 
     # The span covers dispatch + all workers; recorded from the calling
     # thread (workers have no ambient tracer), threads = scratch slots.

@@ -177,6 +177,9 @@ def _lce_bconv2d_kernel(node, p, ctx):
     int8_scale = p.int8_output_scale
     int8_zp = p.int8_output_zero_point
     num_threads = ctx.num_threads
+    # Tuned schedule override from plan compilation (tuning-cache hit);
+    # None keeps the default tiling/im2col, bit-identical either way.
+    config = ctx.kernel_config
 
     # All shape-dependent im2col work happens here, at compile time: the
     # indirection (gather indices + pad mask) is resolved once per node
@@ -197,8 +200,10 @@ def _lce_bconv2d_kernel(node, p, ctx):
         )
         if ctx.workspace is not None:
             pool = ctx.workspace
+            # The reservation must use the same config as the run-time call
+            # below, or tuned tile shapes would grow the arena in steady state.
             reserve_bconv2d_workspace(
-                pool, params, in_h, in_w, batch, num_threads
+                pool, params, in_h, in_w, batch, num_threads, config=config
             )
 
     def run(ins):
@@ -218,6 +223,7 @@ def _lce_bconv2d_kernel(node, p, ctx):
             num_threads=num_threads,
             indirection=indirection,
             workspace=pool.current() if pool is not None else None,
+            config=config,
         )
 
     return run

@@ -21,6 +21,7 @@ from repro.runtime.plan import (
     CompiledNode,
     CompiledPlan,
     NodeSchedule,
+    NodeTuning,
     ParamCache,
     compile_plan,
 )
@@ -44,6 +45,7 @@ __all__ = [
     "GreedyCoalescer",
     "LeastLoadedScheduler",
     "NodeSchedule",
+    "NodeTuning",
     "ParamCache",
     "RoundRobinScheduler",
     "Scheduler",

@@ -59,6 +59,63 @@ class TestBlockedKernel:
         )
 
 
+class TestTileEdgeCases:
+    """Adversarial tile grid: every (tile_m, tile_n, tile_k_words) split —
+    degenerate, non-divisor, oversized — must be bit-identical to the
+    un-tiled kernel, because the accumulator is exact integer math."""
+
+    @pytest.mark.parametrize("tile_m", [1, 3, 33, 34, 1000])
+    @pytest.mark.parametrize("tile_n", [1, 5, 17, 18, 1000])
+    def test_adversarial_tile_grid(self, rng, tile_m, tile_n):
+        _, _, pa, pb = _random_operands(rng, 33, 17, 190)
+        assert np.array_equal(
+            bgemm_blocked(pa, pb, 190, tile_m, tile_n), bgemm(pa, pb, 190)
+        )
+
+    @pytest.mark.parametrize("tile_k_words", [1, 2, 3, 5, 8, 100])
+    def test_k_word_blocking_is_bit_identical(self, rng, tile_k_words):
+        # 300 bits -> 5 words: covers kb < words, kb == words (no split),
+        # non-divisor kb, and kb far beyond the operand width.
+        _, _, pa, pb = _random_operands(rng, 21, 13, 300)
+        assert np.array_equal(
+            bgemm_blocked(pa, pb, 300, tile_k_words=tile_k_words),
+            bgemm(pa, pb, 300),
+        )
+
+    def test_all_three_axes_split_at_once(self, rng):
+        _, _, pa, pb = _random_operands(rng, 50, 30, 400)
+        assert np.array_equal(
+            bgemm_blocked(pa, pb, 400, tile_m=7, tile_n=11, tile_k_words=3),
+            bgemm(pa, pb, 400),
+        )
+
+    def test_tiles_larger_than_matrix(self, rng):
+        _, _, pa, pb = _random_operands(rng, 4, 3, 64)
+        assert np.array_equal(
+            bgemm_blocked(pa, pb, 64, tile_m=4096, tile_n=4096, tile_k_words=64),
+            bgemm(pa, pb, 64),
+        )
+
+    @pytest.mark.parametrize(
+        "kw",
+        [{"tile_m": 0}, {"tile_n": 0}, {"tile_m": -4}, {"tile_n": -4},
+         {"tile_k_words": 0}, {"tile_k_words": -1}],
+    )
+    def test_rejects_non_positive_tiles(self, rng, kw):
+        _, _, pa, pb = _random_operands(rng, 4, 4, 64)
+        with pytest.raises(ValueError):
+            bgemm_blocked(pa, pb, 64, **kw)
+
+    @pytest.mark.parametrize(
+        "kw",
+        [{"tile_m": 2.0}, {"tile_n": "8"}, {"tile_k_words": True}],
+    )
+    def test_rejects_non_integer_tiles(self, rng, kw):
+        _, _, pa, pb = _random_operands(rng, 4, 4, 64)
+        with pytest.raises(TypeError):
+            bgemm_blocked(pa, pb, 64, **kw)
+
+
 class TestValidation:
     def test_rejects_non_uint64(self, rng):
         a = np.zeros((2, 1), np.uint32)

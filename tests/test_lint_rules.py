@@ -207,6 +207,13 @@ def test_l101_covers_serving_paths(tmp_path):
     assert _rules(diags) == {"L101"}
 
 
+def test_l101_covers_tune_paths(tmp_path):
+    # The tuner's microbench calls workspace kernels in a tight loop; an
+    # unguarded allocation there would time the allocator, not the kernel.
+    diags = _lint(tmp_path, "src/repro/tune/k.py", _KERNEL_BAD, style=False)
+    assert _rules(diags) == {"L101"}
+
+
 def test_l101_suppression_with_reason(tmp_path):
     src = _KERNEL_BAD.replace(
         "np.empty((4, 4), np.float32)",
@@ -317,6 +324,15 @@ def test_l103_covers_serving_paths(tmp_path):
     assert _rules(diags) == {"L103"}
 
 
+def test_l103_covers_tune_paths(tmp_path):
+    # Tuning caches are consulted from plan compilation, which can race
+    # across engine threads like any runtime module cache.
+    diags = _lint(
+        tmp_path, "src/repro/tune/memo.py", _CACHE_BAD, style=False
+    )
+    assert _rules(diags) == {"L103"}
+
+
 def test_l103_covers_hw_calibrate(tmp_path):
     # The calibration recorder drives the engine; a module-level sample
     # cache mutated without a lock is the same hazard as in runtime/.
@@ -379,6 +395,34 @@ def test_l104_covers_serving_paths(tmp_path):
             return ms + np.random.default_rng().random() + time.time()
         """, style=False)
     assert _rules(diags) == {"L104"}
+
+
+def test_l104_covers_tune_paths(tmp_path):
+    # Wall-clock reads in tune/ must stay confined to the declared
+    # microbench boundary (monotonic timer + justified suppression);
+    # ambient entropy or time.time() anywhere else is an error.
+    diags = _lint(tmp_path, "src/repro/tune/drift.py", """\
+        import time
+
+        import numpy as np
+
+        def jitter():
+            return np.random.default_rng().random() + time.time()
+        """, style=False)
+    assert _rules(diags) == {"L104"}
+
+
+def test_l104_real_tune_search_module_is_clean():
+    # The shipped tuner passes its own gate: the monotonic perf_counter
+    # timer is exempt by design and the single seeded RNG that builds
+    # microbench inputs carries a justified allow[L104].
+    import pathlib
+
+    import repro.tune.search as search
+
+    path = pathlib.Path(search.__file__)
+    assert not [d for d in lint_file(path, style=False)
+                if d.rule in {"L101", "L103", "L104"}]
 
 
 def test_l104_covers_hw_calibrate(tmp_path):

@@ -45,6 +45,41 @@ class TestParallelBgemm:
             bgemm_blocked(a, b, 200),
         )
 
+    @pytest.mark.parametrize("num_threads", [2, 4])
+    @pytest.mark.parametrize("kw", [{"tile_m": 0}, {"tile_n": -3}])
+    def test_rejects_bad_tiles_on_the_parallel_branch(
+        self, rng, num_threads, kw
+    ):
+        # Regression: tile validation used to run only on the serial
+        # (num_threads=1) branch, so a non-positive tile on the threaded
+        # path skipped every tile loop and returned uninitialized output.
+        a, b = _operands(rng, 64, 8, 64)
+        with pytest.raises(ValueError):
+            bgemm_parallel(a, b, 64, num_threads=num_threads, **kw)
+
+    @pytest.mark.parametrize("thread_grain", [1, 2, 3, 100])
+    def test_thread_grain_is_bit_identical(self, rng, thread_grain):
+        a, b = _operands(rng, 700, 16, 128)
+        assert np.array_equal(
+            bgemm_parallel(
+                a, b, 128, num_threads=3, tile_m=64,
+                thread_grain=thread_grain,
+            ),
+            bgemm_blocked(a, b, 128),
+        )
+
+    def test_k_word_blocking_under_threads(self, rng):
+        a, b = _operands(rng, 300, 16, 300)
+        assert np.array_equal(
+            bgemm_parallel(a, b, 300, num_threads=2, tile_k_words=2),
+            bgemm_blocked(a, b, 300),
+        )
+
+    def test_rejects_bad_thread_grain(self, rng):
+        a, b = _operands(rng, 8, 8, 64)
+        with pytest.raises(ValueError):
+            bgemm_parallel(a, b, 64, num_threads=2, thread_grain=0)
+
 
 class TestThreadedLatencyModel:
     def test_single_thread_unchanged(self):
