@@ -1,6 +1,6 @@
 # Convenience targets for the LCE reproduction.
 
-.PHONY: test test-fast test-slow test-serving lint analyze check trace-smoke serve-smoke calibrate-smoke tune-smoke bench bench-fast bench-serving experiments appendix extensions examples all
+.PHONY: test test-fast test-slow test-serving lint analyze check sanitize sanitize-smoke trace-smoke serve-smoke calibrate-smoke tune-smoke bench bench-fast bench-serving experiments appendix extensions examples all
 
 test:
 	pytest tests/
@@ -11,11 +11,24 @@ lint:
 	python tools/lint.py
 
 # Static analyses: dataflow rules over every zoo model (training and
-# converted graphs) plus the repo lint engine.  Fails on any ERROR finding.
+# converted graphs), the repo lint engine and the concurrency C-rules
+# over src/.  Fails on any ERROR finding.
 analyze:
 	PYTHONPATH=src python -m repro.cli analyze
 
-check: lint analyze test-fast test-serving trace-smoke serve-smoke calibrate-smoke tune-smoke
+# Runtime lock sanitizer over the whole suite: every lock acquisition is
+# checked against the rank table in repro/concurrency/order.py, and the
+# session fails if the recorded acquisition graph contains a cycle.
+sanitize:
+	REPRO_SANITIZE=1 pytest tests/
+
+# The cheap sanitizer tier for `make check`: the threaded surfaces
+# (serving gateway + engine) under REPRO_SANITIZE=1, minus the slow cells.
+sanitize-smoke:
+	REPRO_SANITIZE=1 pytest tests/ -m "serving and not slow"
+	REPRO_SANITIZE=1 pytest tests/test_runtime_engine.py tests/test_concurrency_locks.py
+
+check: lint analyze test-fast test-serving sanitize-smoke trace-smoke serve-smoke calibrate-smoke tune-smoke
 
 # End-to-end observability smoke: trace a QuickNet-small engine run,
 # schema-validate the Chrome-trace export, and print the unified metrics

@@ -3,12 +3,15 @@
 Two halves: model *measurement* (MAC counting, speedup statistics,
 regressions — the paper's Section 5.3 question and Table 2/5 summaries)
 and the *static-analysis subsystem* — a graph dataflow verifier
-(:mod:`repro.analysis.dataflow`) and a repo lint engine
-(:mod:`repro.analysis.lint`) sharing one diagnostic core
-(:mod:`repro.analysis.diagnostics`).  See docs/architecture.md §8.
+(:mod:`repro.analysis.dataflow`), a repo lint engine
+(:mod:`repro.analysis.lint`) and a concurrency engine
+(:mod:`repro.analysis.concurrency`, lock-discipline rules C001-C005)
+sharing one diagnostic core (:mod:`repro.analysis.diagnostics`).
+See docs/architecture.md §8 and §13.
 """
 
 from repro.analysis.bench import validate_bench_engine, validate_bench_kernels
+from repro.analysis.concurrency import check_file, check_paths, check_repo
 from repro.analysis.dataflow import analyze_graph, check_graph
 from repro.analysis.diagnostics import (
     RULES,
@@ -34,7 +37,10 @@ __all__ = [
     "Severity",
     "SpeedupStats",
     "analyze_graph",
+    "check_file",
     "check_graph",
+    "check_paths",
+    "check_repo",
     "count_macs",
     "emacs",
     "errors_of",

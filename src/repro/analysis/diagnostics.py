@@ -33,7 +33,7 @@ class Rule:
 
     id: str
     name: str
-    engine: str  # "graph" | "lint"
+    engine: str  # "graph" | "lint" | "concurrency"
     summary: str
 
 
@@ -78,6 +78,22 @@ RULES: dict[str, Rule] = {
         Rule("L104", "nondeterminism", "lint",
              "no wall-clock, random or entropy sources in compiled-plan "
              "paths (core/, runtime/, ops/)"),
+        # ---------------------------------------- concurrency engine
+        Rule("C001", "lock-inventory", "concurrency",
+             "every lock in src/ routes through ordered_lock/ordered_rlock "
+             "with a name registered in repro.concurrency.order"),
+        Rule("C002", "lock-order", "concurrency",
+             "nested with-acquisitions ascend the declared lock ranks; "
+             "no re-entry of non-reentrant locks"),
+        Rule("C003", "blocking-under-lock", "concurrency",
+             "no Future.result/Queue.get/put/join without timeout, "
+             "Engine.run* or sleep inside a lock's critical section"),
+        Rule("C004", "future-resolution", "concurrency",
+             "futures created in serving/ are resolved (or handed off) on "
+             "every exception path"),
+        Rule("C005", "unlocked-publish", "concurrency",
+             "classes declaring a *_lock only reassign shared instance "
+             "attributes under one of their locks"),
     )
 }
 

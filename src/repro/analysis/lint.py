@@ -307,9 +307,14 @@ def _module_lock_names(tree: ast.Module) -> set[str]:
         if not isinstance(value, ast.Call):
             continue
         fn = value.func
+        # OrderedLock and its factories are the sanitized spelling of the
+        # same idiom (repro.concurrency) and satisfy the guard just as a
+        # bare threading lock does.
+        lock_ctors = ("Lock", "RLock", "OrderedLock",
+                      "ordered_lock", "ordered_rlock")
         is_lock = (
-            isinstance(fn, ast.Attribute) and fn.attr in ("Lock", "RLock")
-        ) or (isinstance(fn, ast.Name) and fn.id in ("Lock", "RLock"))
+            isinstance(fn, ast.Attribute) and fn.attr in lock_ctors
+        ) or (isinstance(fn, ast.Name) and fn.id in lock_ctors)
         if is_lock:
             names.update(t.id for t in targets if isinstance(t, ast.Name))
     return names

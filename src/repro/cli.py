@@ -317,17 +317,19 @@ def _hook_doc(fn) -> str:
 
 
 def cmd_analyze(args) -> int:
-    """Run the static analyses: graph dataflow rules and/or the repo lint.
+    """Run the static analyses: graph rules, repo lint, lock discipline.
 
     With no target flags, analyzes every zoo model (training and converted
-    graphs) *and* lints the repo source tree — the full ``make analyze``
-    gate.  Exit status 1 on any ERROR finding.
+    graphs), lints the repo source tree *and* runs the concurrency
+    C-rules over ``src/`` — the full ``make analyze`` gate.  Exit status
+    1 on any ERROR finding.
     """
     import dataclasses
     import pathlib
 
     from repro.analysis import (
         analyze_graph,
+        check_repo,
         errors_of,
         format_json,
         format_text,
@@ -344,8 +346,11 @@ def cmd_analyze(args) -> int:
 
     graphs_requested = args.all_models or args.model is not None
     source_requested = args.source is not None
-    if not graphs_requested and not source_requested:
-        graphs_requested = source_requested = True  # the full gate
+    concurrency_requested = args.concurrency
+    if not graphs_requested and not source_requested \
+            and not concurrency_requested:
+        # the full gate
+        graphs_requested = source_requested = concurrency_requested = True
 
     diags = []
     models_analyzed: list[str] = []
@@ -389,6 +394,17 @@ def cmd_analyze(args) -> int:
             )
             diags.extend(lint_repo(repo))
 
+    concurrency_checked = 0
+    if concurrency_requested:
+        repo = pathlib.Path(__file__).resolve().parents[2]
+        from repro.analysis.lint import iter_python_files
+
+        src = repo / "src"
+        concurrency_checked = len(
+            iter_python_files([src] if src.exists() else [])
+        )
+        diags.extend(check_repo(repo))
+
     errors = errors_of(diags)
     if args.format == "json":
         print(format_json(diags, models=models_analyzed, files=files_linted))
@@ -401,6 +417,10 @@ def cmd_analyze(args) -> int:
             scope.append(f"{len(models_analyzed)} model(s)")
         if source_requested:
             scope.append(f"{files_linted} file(s)")
+        if concurrency_requested:
+            scope.append(
+                f"{concurrency_checked} file(s) for lock discipline"
+            )
         print(
             f"analyze: {len(errors)} error(s), {warnings} warning(s) "
             f"across {', '.join(scope) or 'nothing'}"
@@ -868,7 +888,8 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser(
         "analyze",
-        help="run the static analyses (graph dataflow rules + repo lint)",
+        help="run the static analyses (graph dataflow rules + repo lint "
+        "+ concurrency C-rules)",
     )
     p.add_argument(
         "--model", default=None, choices=sorted(MODEL_REGISTRY),
@@ -887,6 +908,10 @@ def build_parser() -> argparse.ArgumentParser:
         "--source", nargs="*", default=None, metavar="PATH",
         help="lint these files/directories (bare --source lints the repo "
         "tree and cross-checks the op registry)",
+    )
+    p.add_argument(
+        "--concurrency", action="store_true",
+        help="run the lock-discipline rules (C001-C005) over src/",
     )
     p.add_argument(
         "--format", choices=("text", "json"), default="text",

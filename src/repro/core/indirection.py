@@ -18,12 +18,12 @@ never takes the cache lock.
 
 from __future__ import annotations
 
-import threading
 import time
 from dataclasses import dataclass
 
 import numpy as np
 
+from repro.concurrency.locks import ordered_lock
 from repro.core.bitpack import PackedTensor
 from repro.core.im2col import (
     ConvGeometry,
@@ -83,7 +83,7 @@ class Indirection:
 
 
 _CACHE: dict[tuple, Indirection] = {}
-_LOCK = threading.Lock()
+_LOCK = ordered_lock("core.indirection")
 _HITS = 0
 _MISSES = 0
 

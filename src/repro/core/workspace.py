@@ -37,6 +37,7 @@ from typing import Iterable
 
 import numpy as np
 
+from repro.concurrency.locks import ordered_lock
 from repro.obs.trace import active_tracer
 
 
@@ -104,7 +105,7 @@ class WorkspacePool:
         self._reservations: dict[str, tuple[int, np.dtype]] = {}
         self._local = threading.local()
         self._workspaces: list[Workspace] = []
-        self._lock = threading.Lock()
+        self._lock = ordered_lock("core.workspace.pool")
 
     def reserve(self, name: str, size: int, dtype) -> None:
         """Record that some node needs ``size`` elements under ``name``."""

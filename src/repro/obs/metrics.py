@@ -33,6 +33,8 @@ from __future__ import annotations
 import threading
 from typing import Any, Callable
 
+from repro.concurrency.locks import ordered_rlock
+
 
 class Counter:
     """A monotonically increasing total (int or float)."""
@@ -209,7 +211,7 @@ class MetricsRegistry:
     """
 
     def __init__(self) -> None:
-        self._lock = threading.RLock()
+        self._lock = ordered_rlock("obs.metrics")
         self._instruments: dict[str, Instrument] = {}
 
     def lock(self) -> threading.RLock:

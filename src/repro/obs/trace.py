@@ -40,6 +40,8 @@ import threading
 import time
 from typing import Any, Iterator
 
+from repro.concurrency.locks import ordered_lock
+
 #: default per-thread ring capacity (spans); ~100 bytes/record
 DEFAULT_CAPACITY = 65536
 
@@ -164,7 +166,7 @@ class Tracer:
         if capacity < 1:
             raise ValueError(f"capacity must be positive, got {capacity}")
         self._capacity = capacity
-        self._lock = threading.Lock()
+        self._lock = ordered_lock("obs.trace")
         self._buffers: list[_ThreadBuffer] = []
         self._tls = threading.local()
         # The recording boundary: one wall-clock anchor, captured here and

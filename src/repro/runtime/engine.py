@@ -30,6 +30,7 @@ from typing import TYPE_CHECKING, Any, Sequence
 
 import numpy as np
 
+from repro.concurrency.locks import ordered_lock
 from repro.core.bitpack import PackedTensor
 from repro.graph.ir import Graph
 from repro.obs.metrics import MetricsRegistry, global_registry
@@ -212,7 +213,7 @@ class Engine:
             for t in graph.inputs
         )
 
-        self._plan_lock = threading.Lock()
+        self._plan_lock = ordered_lock("runtime.engine.plan")
         self._plans: dict[int, CompiledPlan] = {}
         self._param_cache = param_cache if param_cache is not None else ParamCache()
         self._profile = profile
@@ -250,7 +251,7 @@ class Engine:
 
         self._queue: queue.Queue | None = None
         self._worker: threading.Thread | None = None
-        self._worker_lock = threading.Lock()
+        self._worker_lock = ordered_lock("runtime.engine.worker")
         self._closed = False
 
     def _param_cache_view(self, attr: str) -> int:
@@ -465,19 +466,22 @@ class Engine:
         factor = self._batch_factor(request)
         self._m_requests.inc()
         future: Future = Future()
-        self._ensure_worker()
-        assert self._queue is not None
-        self._queue.put((request, factor, future))
+        q = self._ensure_worker()
+        q.put((request, factor, future))
         return future
 
-    def _ensure_worker(self) -> None:
+    def _ensure_worker(self) -> queue.Queue:
         with self._worker_lock:
+            if self._closed:
+                raise RuntimeError("engine is closed")
             if self._worker is None:
                 self._queue = queue.Queue()
                 self._worker = threading.Thread(
                     target=self._worker_loop, name="repro-engine-batcher", daemon=True
                 )
                 self._worker.start()
+            assert self._queue is not None
+            return self._queue
 
     def _worker_loop(self) -> None:
         assert self._queue is not None
@@ -524,15 +528,23 @@ class Engine:
                     fut.set_result(result)
 
     def close(self) -> None:
-        """Stop the batching worker; idempotent.  ``run`` stays usable."""
-        self._closed = True
+        """Stop the batching worker; idempotent.  ``run`` stays usable.
+
+        Mutates the lifecycle state under the worker lock, then drains
+        and joins *outside* it — holding a lock across a queue put or a
+        thread join is exactly what the sanitizer's C003 forbids, and the
+        detached-handle shape is what makes concurrent closes safe: only
+        one caller observes the live worker.
+        """
         with self._worker_lock:
-            if self._worker is not None:
-                assert self._queue is not None
-                self._queue.put(_CLOSE)
-                self._worker.join()
-                self._worker = None
-                self._queue = None
+            self._closed = True
+            worker, q = self._worker, self._queue
+            self._worker = None
+            self._queue = None
+        if worker is not None:
+            assert q is not None
+            q.put(_CLOSE)
+            worker.join()
 
     def __enter__(self) -> "Engine":
         return self

@@ -30,6 +30,7 @@ from typing import Any, Mapping, Sequence
 
 import numpy as np
 
+from repro.concurrency.locks import sanitizer_enabled
 from repro.serving.gateway import Gateway, GatewayConfig
 from repro.serving.loadgen import generate_arrivals, run_load
 
@@ -145,6 +146,10 @@ def run_bench(
         },
         "verified": verified,
         "device_profile": device_profile,
+        # Whether the runtime lock sanitizer watched this run: curves
+        # measured under REPRO_SANITIZE=1 carry checking locks and are
+        # not comparable to production numbers.
+        "sanitized": sanitizer_enabled(),
         "curves": curves,
         "metrics": metrics,
     }
@@ -159,6 +164,10 @@ def validate_bench_serving(obj: Any) -> list[str]:
         problems.append(f"suite must be 'serving_gateway', got {obj.get('suite')!r}")
     if not isinstance(obj.get("verified"), bool):
         problems.append("verified must be a bool")
+    if not isinstance(obj.get("sanitized"), bool):
+        problems.append(
+            "sanitized must be a bool (was the lock sanitizer active?)"
+        )
     if not isinstance(obj.get("device_profile"), str) or not obj.get(
         "device_profile"
     ):

@@ -44,6 +44,7 @@ from concurrent.futures import Future
 from dataclasses import dataclass, field
 from typing import Any, Callable, Mapping, Sequence
 
+from repro.concurrency.locks import ordered_lock
 from repro.graph.ir import Graph
 from repro.obs.metrics import MetricsRegistry, global_registry, quantile_from_counts
 from repro.obs.trace import NULL_TRACER, NullTracer, Tracer
@@ -242,9 +243,15 @@ class _ModelServer:
         self._coalescer = coalescer
         self._g = gateway_counters
 
-        self._lock = threading.Lock()
+        self._lock = ordered_lock("serving.server")
         self._cond = threading.Condition(self._lock)
         self._replica_cond = threading.Condition(self._lock)
+        # Teardown is single-shot and serialized by its own outer-ranked
+        # lock: a concurrent close() blocks until the winner finishes
+        # instead of racing the workers-closed edge past a batcher that
+        # is still dispatching (the double-drain hang).
+        self._close_lock = ordered_lock("serving.server.close")
+        self._close_done = False
         self._queue: deque[_Pending] = deque()
         self._queued_factor = 0
         self._closed = False
@@ -381,7 +388,7 @@ class _ModelServer:
         items = [(p.request, p.factor) for p in self._queue]
         first = self._coalescer.coalesce(items, self._config.max_batch)[0]
         batch = [self._queue.popleft() for _ in range(len(first))]
-        self._queued_factor -= sum(p.factor for p in batch)
+        self._queued_factor -= sum(p.factor for p in batch)  # repro: allow[C005] documented contract: the batcher calls this with self._lock held
         return batch
 
     def _dispatch(self, batch: list[_Pending]) -> None:
@@ -484,22 +491,29 @@ class _ModelServer:
         """Stop admission, drain the queue, stop workers; idempotent.
 
         Already-admitted requests are flushed (the deadline is cut short)
-        and answered before the threads exit.
+        and answered before the threads exit.  The whole sequence runs
+        under the close lock: a second concurrent close() used to get
+        past the closed-flag check and set ``_workers_closed`` while the
+        first close's batcher was still dispatching, making the workers
+        exit with a batch in flight and ``_dispatch`` wait forever.  Now
+        the loser simply blocks until the winner's drain is complete.
         """
-        with self._cond:
-            if self._closed and self._workers_closed:
+        with self._close_lock:
+            if self._close_done:
                 return
-            self._closed = True
-            self._cond.notify_all()
-        self._batcher.join()
-        with self._replica_cond:
-            self._workers_closed = True
-            self._replica_cond.notify_all()
-        for replica in self._replicas:
-            if replica.thread is not None:
-                replica.thread.join()
-        for replica in self._replicas:
-            replica.engine.close()
+            with self._cond:
+                self._closed = True
+                self._cond.notify_all()
+            self._batcher.join()  # repro: allow[C003] the close lock exists to serialize this drain; it is outermost for the server and never taken on a hot path
+            with self._replica_cond:
+                self._workers_closed = True
+                self._replica_cond.notify_all()
+            for replica in self._replicas:
+                if replica.thread is not None:
+                    replica.thread.join()  # repro: allow[C003] same single-shot teardown drain under the dedicated close lock
+            for replica in self._replicas:
+                replica.engine.close()
+            self._close_done = True
 
 
 class Gateway:
@@ -549,6 +563,7 @@ class Gateway:
             "latency_ms": m.histogram("gateway.latency_ms"),
         }
         self._servers: dict[str, _ModelServer] = {}
+        self._close_lock = ordered_lock("serving.gateway.close")
         self._closed = False
         for name, model in models.items():
             self._servers[name] = _ModelServer(
@@ -586,17 +601,20 @@ class Gateway:
         Malformed inputs (wrong arity/shape) raise ``ValueError``
         synchronously, exactly like ``Engine.run``.
         """
-        future: Future = Future()
         tracer = self.tracer
         server = self._servers.get(model)
         if server is None:
             with self.metrics.lock():
                 self._g["submitted"].inc()
                 self._g["shed"].inc()
+            future: Future = Future()
             _resolve(future, Rejected(model, SHED_UNKNOWN_MODEL))
             return future
-        # Validate in the caller's thread (raises like Engine.run).
+        # Validate in the caller's thread (raises like Engine.run) and
+        # only *then* create the reply future: a raise between Future()
+        # and its handoff would leak the future forever-pending (C004).
         request, factor = server.engines[0].normalize(inputs)
+        future = Future()
         if tracer.enabled:
             with tracer.span("gateway.submit", model=model, factor=factor):
                 server.submit(request, factor, future)
@@ -605,10 +623,16 @@ class Gateway:
         return future
 
     def close(self) -> None:
-        """Drain every model server and stop all threads; idempotent."""
-        self._closed = True
-        for server in self._servers.values():
-            server.close()
+        """Drain every model server and stop all threads; idempotent.
+
+        Safe to call concurrently (with itself and with ``submit``): the
+        gateway close lock serializes callers, and each server's own
+        close lock makes its drain single-shot.
+        """
+        with self._close_lock:
+            self._closed = True
+            for server in self._servers.values():
+                server.close()
 
     def __enter__(self) -> "Gateway":
         return self

@@ -20,3 +20,19 @@ settings.load_profile("repro")
 @pytest.fixture
 def rng() -> np.random.Generator:
     return np.random.default_rng(1234)
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _lock_sanitizer_teardown():
+    """Under ``REPRO_SANITIZE=1``, fail the session on a lock-graph cycle.
+
+    Rank inversions raise :class:`LockOrderError` at the offending
+    acquisition inside individual tests; this end-of-session gate catches
+    the remaining deadlock-potential signal — a cycle among equal-rank
+    locks recorded across the whole suite's acquisition graph.
+    """
+    yield
+    from repro.concurrency.locks import check_teardown, sanitizer_enabled
+
+    if sanitizer_enabled():
+        check_teardown()

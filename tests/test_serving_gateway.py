@@ -306,6 +306,80 @@ def test_close_drains_admitted_requests(graph, rng):
     gw.close()  # idempotent
 
 
+def test_concurrent_close_is_single_shot(graph, rng):
+    """Racing close() calls: both return, the drain happens exactly once.
+
+    Before the close lock, two concurrent closers could interleave the
+    teardown — the loser set the workers-closed flag while the winner's
+    batcher was still dispatching, stranding a batch and hanging join().
+    Now the loser parks on the close lock until the winner's full drain
+    finishes, so both calls observe a completely drained gateway.
+    """
+    clock = FakeClock()
+    x = _batched_input(graph, 1, rng)
+    expected = reference_outputs(graph, (x,), 1)
+    gw = make_gateway(graph, clock, max_batch=8, deadline_ms=1000.0)
+    futures = [gw.submit("m", x) for _ in range(3)]
+    clock.wait_for_timed_waiters(1)  # batcher parked on its deadline
+
+    start = threading.Barrier(2)
+
+    def closer():
+        start.wait(RESULT_TIMEOUT_S)
+        gw.close()
+
+    closers = [threading.Thread(target=closer, daemon=True) for _ in range(2)]
+    for t in closers:
+        t.start()
+    for t in closers:
+        t.join(RESULT_TIMEOUT_S)
+        assert not t.is_alive()  # neither racer may hang in the drain
+    for f in futures:
+        assert_bit_identical(f.result(RESULT_TIMEOUT_S), expected)
+    stats = gw.stats()
+    assert stats.completed == 3 and stats.in_flight == 0
+    gw.close()  # still idempotent after the race
+
+
+def test_close_concurrent_with_submit_resolves_every_future(graph, rng):
+    """submit racing close: every future resolves — result or typed shed.
+
+    Whatever the interleaving, a future handed to a caller must never
+    dangle: requests admitted before the close drain to real outputs,
+    requests after it come back as ``Rejected(SHED_CLOSED)``.
+    """
+    clock = FakeClock()
+    x = _batched_input(graph, 1, rng)
+    expected = reference_outputs(graph, (x,), 1)
+    # deadline 0: the batcher flushes without parking on the clock, so
+    # the race needs no advance() choreography.
+    gw = make_gateway(graph, clock, max_batch=4, deadline_ms=0.0, max_queue=64)
+    futures = []
+    done = threading.Event()
+
+    def submitter():
+        for _ in range(10):
+            futures.append(gw.submit("m", x))
+        done.set()
+
+    t = threading.Thread(target=submitter, daemon=True)
+    t.start()
+    gw.close()
+    assert done.wait(RESULT_TIMEOUT_S)
+    t.join(RESULT_TIMEOUT_S)
+    shed = 0
+    for f in futures:
+        reply = f.result(RESULT_TIMEOUT_S)
+        if isinstance(reply, Rejected):
+            assert reply.reason == SHED_CLOSED
+            shed += 1
+        else:
+            assert_bit_identical(reply, expected)
+    stats = gw.stats()
+    assert stats.submitted == 10 and stats.shed == shed
+    assert stats.completed == 10 - shed and stats.in_flight == 0
+
+
 # ------------------------------------------------------- tracing + stats
 
 
