@@ -1,6 +1,6 @@
 # Convenience targets for the LCE reproduction.
 
-.PHONY: test test-fast test-slow test-serving lint analyze check sanitize sanitize-smoke trace-smoke serve-smoke calibrate-smoke tune-smoke bench bench-fast bench-serving experiments appendix extensions examples all
+.PHONY: test test-fast test-slow test-serving lint analyze check sanitize sanitize-smoke trace-smoke serve-smoke calibrate-smoke tune-smoke telemetry-smoke bench bench-fast bench-serving experiments appendix extensions examples all
 
 test:
 	pytest tests/
@@ -28,7 +28,7 @@ sanitize-smoke:
 	REPRO_SANITIZE=1 pytest tests/ -m "serving and not slow"
 	REPRO_SANITIZE=1 pytest tests/test_runtime_engine.py tests/test_concurrency_locks.py
 
-check: lint analyze test-fast test-serving sanitize-smoke trace-smoke serve-smoke calibrate-smoke tune-smoke
+check: lint analyze test-fast test-serving sanitize-smoke trace-smoke serve-smoke calibrate-smoke tune-smoke telemetry-smoke
 
 # End-to-end observability smoke: trace a QuickNet-small engine run,
 # schema-validate the Chrome-trace export, and print the unified metrics
@@ -76,6 +76,20 @@ tune-smoke:
 		--out /tmp/repro-tuning-smoke.json
 	PYTHONPATH=src python -m repro.cli tuning show /tmp/repro-tuning-smoke.json
 
+# Telemetry smoke: a served burst with the event log on (export +
+# schema-validate the JSONL, force one flight-recorder dump, round-trip
+# the Prometheus exposition through the parser), then an SLO health
+# check with a generous p95 target.  Both commands exit non-zero on
+# any validation problem or breach.
+telemetry-smoke:
+	PYTHONPATH=src python -m repro.cli events --models quicknet_small \
+		--input-size 32 --requests 48 --tail 5 \
+		--out /tmp/repro-events-smoke.jsonl \
+		--flight-dump /tmp/repro-flight-smoke \
+		--prom-out /tmp/repro-prom-smoke.txt
+	PYTHONPATH=src python -m repro.cli health --models quicknet_small \
+		--input-size 32 --requests 32 --slo-p95-ms 10000
+
 # End-to-end serving smoke: a short loadgen sweep through the gateway,
 # schema-validating BENCH_serving.json and the exported Chrome trace.
 # ``cli loadgen`` exits non-zero on any validation problem.
@@ -95,9 +109,11 @@ bench-fast:
 	pytest benchmarks/test_kernel_microbench.py --benchmark-only
 
 # Serving gateway throughput/latency curves vs offered load; writes
-# machine-readable BENCH_serving.json (>= 3 points + metrics snapshot).
+# machine-readable BENCH_serving.json (>= 3 points + metrics snapshot +
+# telemetry roll-up).  Runs under the lock sanitizer so the committed
+# artifact carries "sanitized": true — the numbers are checked, not fast.
 bench-serving:
-	PYTHONPATH=src python -m repro.cli loadgen --rates 20 60 120 \
+	REPRO_SANITIZE=1 PYTHONPATH=src python -m repro.cli loadgen --rates 20 60 120 \
 		--duration 1.0 --replicas 2 --out BENCH_serving.json
 
 experiments:

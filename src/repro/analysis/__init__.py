@@ -7,7 +7,9 @@ and the *static-analysis subsystem* — a graph dataflow verifier
 (:mod:`repro.analysis.lint`) and a concurrency engine
 (:mod:`repro.analysis.concurrency`, lock-discipline rules C001-C005)
 sharing one diagnostic core (:mod:`repro.analysis.diagnostics`).
-See docs/architecture.md §8 and §13.
+Telemetry artifacts (events JSONL, flight dumps) have their schema
+oracles in :mod:`repro.analysis.telemetry`.
+See docs/architecture.md §8, §13 and §14.
 """
 
 from repro.analysis.bench import validate_bench_engine, validate_bench_kernels
@@ -27,6 +29,11 @@ from repro.analysis.regression import loglog_fit
 from repro.analysis.search import CandidateResult, evaluate_candidate, search
 from repro.analysis.speedup import SpeedupStats, speedup_stats
 from repro.analysis.summary import LayerSummary, format_summary, model_summary
+from repro.analysis.telemetry import (
+    load_events_jsonl,
+    validate_events,
+    validate_flight,
+)
 
 __all__ = [
     "CandidateResult",
@@ -51,10 +58,13 @@ __all__ = [
     "lint_file",
     "lint_paths",
     "lint_repo",
+    "load_events_jsonl",
     "loglog_fit",
     "model_summary",
     "search",
     "speedup_stats",
     "validate_bench_engine",
     "validate_bench_kernels",
+    "validate_events",
+    "validate_flight",
 ]

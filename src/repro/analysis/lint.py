@@ -82,8 +82,20 @@ def _hw_contract_file(path: pathlib.Path) -> bool:
     return "hw" in _segments(path) and path.name in _HW_CONTRACT_FILES
 
 
+#: obs/ is mostly cold-path bookkeeping, but the event log and the SLO
+#: monitor sit on (or are driven from) the serving hot path and are held
+#: to the same allocation-discipline contract as core/serving
+_OBS_CONTRACT_FILES = frozenset({"events.py", "slo.py"})
+
+
+def _obs_contract_file(path: pathlib.Path) -> bool:
+    return "obs" in _segments(path) and path.name in _OBS_CONTRACT_FILES
+
+
 def _in_core(path: pathlib.Path) -> bool:
-    return bool(_segments(path) & {"core", "serving", "tune"})
+    return bool(
+        _segments(path) & {"core", "serving", "tune"}
+    ) or _obs_contract_file(path)
 
 
 def _needs_cache_guard(path: pathlib.Path) -> bool:

@@ -1,0 +1,202 @@
+"""Schema oracles for the telemetry artifacts (events JSONL, flight dumps).
+
+Same contract as :func:`repro.obs.export.validate_chrome_trace` and
+``validate_bench_serving``: each validator returns a list of
+human-readable problem strings — empty means valid — so tests assert
+``== []`` and the CLI can print every problem at once.
+
+:func:`validate_events` checks the exported event stream end to end:
+
+- the header line (schema tag, version, count, drop count);
+- per-record shape and the registered event-kind vocabulary;
+- non-decreasing timestamps;
+- the **lifecycle invariant**, when the stream is complete
+  (``dropped == 0``): every request_id with lifecycle events has
+  exactly one terminal (``complete`` | ``shed`` | ``failed``);
+  ``complete``/``failed`` imply a prior ``accept``; ``shed`` excludes
+  one (a shed request was never admitted).
+
+:func:`validate_flight` checks a flight-recorder dump: schema/version,
+a non-empty reason, embedded event records (shape only — a dump keeps
+the *last N* events, so lifecycle pairing does not apply), a metrics
+snapshot, and the active/recent span sections.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+from repro.obs.events import (
+    EVENT_KINDS,
+    EVENT_SCHEMA,
+    EVENT_SCHEMA_VERSION,
+    FLIGHT_SCHEMA,
+    FLIGHT_SCHEMA_VERSION,
+    TERMINAL_KINDS,
+    request_kinds,
+)
+
+#: required keys of one exported event record
+EVENT_FIELDS = ("ts", "kind", "request_id", "model", "replica", "attrs")
+
+
+def load_events_jsonl(path: str | Path) -> list[dict[str, Any]]:
+    """Read an events JSONL file back into its record list.
+
+    Raises ``ValueError`` on unparseable lines; shape problems are the
+    validator's job.
+    """
+    records: list[dict[str, Any]] = []
+    for lineno, line in enumerate(
+        Path(path).read_text().splitlines(), 1
+    ):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            records.append(json.loads(line))
+        except json.JSONDecodeError as exc:
+            raise ValueError(f"{path}: line {lineno}: {exc}") from None
+    return records
+
+
+def _check_event_record(
+    record: Any, where: str, problems: list[str]
+) -> None:
+    if not isinstance(record, dict):
+        problems.append(f"{where}: not an object")
+        return
+    for field in EVENT_FIELDS:
+        if field not in record:
+            problems.append(f"{where}: missing field {field!r}")
+    ts = record.get("ts")
+    if not isinstance(ts, (int, float)) or isinstance(ts, bool):
+        problems.append(f"{where}: ts is not a number")
+    kind = record.get("kind")
+    if not isinstance(kind, str):
+        problems.append(f"{where}: kind is not a string")
+    elif kind not in EVENT_KINDS:
+        problems.append(f"{where}: unknown event kind {kind!r}")
+    for field in ("request_id", "model"):
+        value = record.get(field)
+        if value is not None and not isinstance(value, str):
+            problems.append(f"{where}: {field} is neither null nor a string")
+    replica = record.get("replica")
+    if replica is not None and not isinstance(replica, int):
+        problems.append(f"{where}: replica is neither null nor an int")
+    if "attrs" in record and not isinstance(record.get("attrs"), dict):
+        problems.append(f"{where}: attrs is not an object")
+
+
+def validate_events(records: list[dict[str, Any]]) -> list[str]:
+    """Every problem in an exported event stream (header + records)."""
+    problems: list[str] = []
+    if not records:
+        return ["empty stream: missing header record"]
+    header = records[0]
+    if not isinstance(header, dict) or header.get("schema") != EVENT_SCHEMA:
+        return [f"header: schema is not {EVENT_SCHEMA!r}: {header!r}"]
+    if header.get("version") != EVENT_SCHEMA_VERSION:
+        problems.append(
+            f"header: version {header.get('version')!r} != "
+            f"{EVENT_SCHEMA_VERSION}"
+        )
+    dropped = header.get("dropped")
+    if not isinstance(dropped, int) or dropped < 0:
+        problems.append("header: dropped is not a non-negative int")
+        dropped = None
+    count = header.get("count")
+    events = records[1:]
+    if count != len(events):
+        problems.append(
+            f"header: count {count!r} != {len(events)} event records"
+        )
+    last_ts: float | None = None
+    for i, record in enumerate(events):
+        where = f"event[{i}]"
+        _check_event_record(record, where, problems)
+        ts = record.get("ts") if isinstance(record, dict) else None
+        if isinstance(ts, (int, float)) and not isinstance(ts, bool):
+            if last_ts is not None and ts < last_ts:
+                problems.append(
+                    f"{where}: ts {ts} decreases (prev {last_ts})"
+                )
+            last_ts = ts
+    if problems or dropped != 0:
+        # lifecycle pairing only holds on a complete, well-formed stream
+        return problems
+    for rid, kinds in sorted(request_kinds(events).items()):
+        terminals = [k for k in kinds if k in TERMINAL_KINDS]
+        if len(terminals) != 1:
+            problems.append(
+                f"request {rid!r}: {len(terminals)} terminal events "
+                f"(want exactly 1): {terminals}"
+            )
+            continue
+        terminal = terminals[0]
+        accepted = "request.accept" in kinds
+        if terminal == "request.shed" and accepted:
+            problems.append(
+                f"request {rid!r}: shed after accept (shed means never "
+                "admitted)"
+            )
+        if terminal in ("request.complete", "request.failed") and not accepted:
+            problems.append(
+                f"request {rid!r}: terminal {terminal!r} without "
+                "request.accept"
+            )
+    return problems
+
+
+def validate_flight(obj: Any) -> list[str]:
+    """Every problem in a flight-recorder dump object."""
+    if not isinstance(obj, dict):
+        return ["flight dump is not an object"]
+    problems: list[str] = []
+    if obj.get("schema") != FLIGHT_SCHEMA:
+        return [f"schema is not {FLIGHT_SCHEMA!r}: {obj.get('schema')!r}"]
+    if obj.get("version") != FLIGHT_SCHEMA_VERSION:
+        problems.append(
+            f"version {obj.get('version')!r} != {FLIGHT_SCHEMA_VERSION}"
+        )
+    reason = obj.get("reason")
+    if not isinstance(reason, str) or not reason:
+        problems.append("reason is not a non-empty string")
+    ts = obj.get("ts")
+    if not isinstance(ts, (int, float)) or isinstance(ts, bool):
+        problems.append("ts is not a number")
+    events = obj.get("events")
+    if not isinstance(events, list):
+        problems.append("events is not a list")
+    else:
+        for i, record in enumerate(events):
+            _check_event_record(record, f"events[{i}]", problems)
+    dropped = obj.get("dropped_events")
+    if not isinstance(dropped, int) or dropped < 0:
+        problems.append("dropped_events is not a non-negative int")
+    metrics = obj.get("metrics")
+    if not isinstance(metrics, dict) or not metrics:
+        problems.append("metrics is not a non-empty snapshot")
+    active = obj.get("active_spans")
+    if not isinstance(active, dict):
+        problems.append("active_spans is not an object")
+    else:
+        for tid, stack in active.items():
+            if not isinstance(stack, list) or not all(
+                isinstance(name, str) for name in stack
+            ):
+                problems.append(
+                    f"active_spans[{tid!r}]: not a list of span names"
+                )
+    recent = obj.get("recent_spans")
+    if not isinstance(recent, list):
+        problems.append("recent_spans is not a list")
+    else:
+        for i, span in enumerate(recent):
+            if not isinstance(span, dict) or not isinstance(
+                span.get("name"), str
+            ):
+                problems.append(f"recent_spans[{i}]: not a span record")
+    return problems

@@ -14,6 +14,9 @@ The deployment-side tooling a released inference engine ships with::
     python -m repro stats     --model quicknet_small
     python -m repro serve     --models quicknet_small --requests 32
     python -m repro loadgen   --rates 20 60 120 --out BENCH_serving.json
+    python -m repro events    --requests 48 --out events.jsonl --tail 10
+    python -m repro health    --slo-p95-ms 50 --slo-error-budget-pct 1
+    python -m repro slo       --slo-p95-ms 50 --prometheus
     python -m repro calibrate --out profile.json --budget 15
     python -m repro profiles  list|show|diff ...
     python -m repro tune      --model quicknet_small --out tuning.json
@@ -589,6 +592,180 @@ def cmd_loadgen(args) -> int:
     return 1 if problems else 0
 
 
+def _slo_from_args(args):
+    """The SLOConfig the --slo-* flags describe, or None when unset."""
+    from repro.obs import SLOConfig
+
+    objectives = (
+        args.slo_p95_ms,
+        args.slo_error_budget_pct,
+        args.slo_hit_rate,
+    )
+    if all(v is None for v in objectives):
+        return None
+    deadline = args.slo_deadline_ms
+    if args.slo_hit_rate is not None and deadline is None:
+        deadline = args.deadline_ms  # fall back to the batching deadline
+    return SLOConfig(
+        target_p95_ms=args.slo_p95_ms,
+        deadline_ms=deadline,
+        deadline_hit_rate=args.slo_hit_rate,
+        error_budget_pct=args.slo_error_budget_pct,
+        window_s=args.slo_window_s,
+    )
+
+
+def _telemetry_burst(args, *, events=None, slo=None, flight=None):
+    """Build the models, serve a request burst, return (gateway, replies).
+
+    The caller owns the gateway and must close it (keeping it open lets
+    health/dump/export run against live telemetry sources).
+    """
+    from repro.serving import Gateway
+
+    models = {}
+    for name in args.models:
+        graph = build_model(name, input_size=args.input_size)
+        models[name] = convert(graph, in_place=True)
+    rng = np.random.default_rng(args.seed)
+    inputs = {}
+    for name, model in models.items():
+        spec = model.graph.tensors[model.graph.inputs[0]]
+        inputs[name] = rng.standard_normal(tuple(spec.shape)).astype(np.float32)
+
+    gateway = Gateway(
+        models, _gateway_config(args), events=events, slo=slo, flight=flight
+    )
+    try:
+        gateway.warmup(factors=(1, args.max_batch))
+        names = sorted(models)
+        futures = [
+            gateway.submit(names[i % len(names)], inputs[names[i % len(names)]])
+            for i in range(args.requests)
+        ]
+        replies = [f.result(timeout=60) for f in futures]
+    except BaseException:
+        gateway.close()
+        raise
+    return gateway, replies
+
+
+def _print_health(health) -> bool:
+    """Render per-model verdicts; True when any model is breached."""
+    breached = False
+    for name in sorted(health):
+        h = health[name]
+        breached = breached or h.status == "breached"
+        print(
+            f"{name}: {h.status} — {'; '.join(h.reasons)} "
+            f"(p95 {h.p95_ms:.2f} ms, errors {h.error_rate:.2%}, "
+            f"deadline hits {h.deadline_hit_rate:.2%}, "
+            f"completed {h.window_completed} in {h.window_s:.1f}s window)"
+        )
+    return breached
+
+
+def cmd_events(args) -> int:
+    """Serve a burst with the event log on; export, validate, tail."""
+    import json
+    from pathlib import Path
+
+    from repro.analysis import validate_events, validate_flight
+    from repro.obs import (
+        EventLog,
+        FlightRecorder,
+        parse_prometheus_text,
+        prometheus_text,
+        write_events_jsonl,
+    )
+
+    events = EventLog()
+    flight = FlightRecorder(args.flight_dump) if args.flight_dump else None
+    gateway, _replies = _telemetry_burst(args, events=events, flight=flight)
+    problems: list[str] = []
+    try:
+        records = write_events_jsonl(events, args.out)
+        problems.extend(validate_events(records))
+        header = records[0]
+        print(
+            f"wrote {args.out}: {header['count']} events, "
+            f"{header['dropped']} dropped"
+        )
+        if args.tail:
+            for record in records[1:][-args.tail :]:
+                rid = record["request_id"] or "-"
+                print(
+                    f"  {record['ts']:>12.6f}  {record['kind']:<18} "
+                    f"{rid:<24} {record['attrs']}"
+                )
+        if flight is not None:
+            path = gateway.dump("forced")
+            obj = json.loads(Path(path).read_text())
+            problems.extend(f"flight: {p}" for p in validate_flight(obj))
+            print(
+                f"wrote {path}: reason={obj['reason']!r}, "
+                f"{len(obj['events'])} events, "
+                f"{len(obj['metrics'])} metrics"
+            )
+        if args.prom_out:
+            text = prometheus_text(gateway.metrics)
+            Path(args.prom_out).write_text(text)
+            parsed = parse_prometheus_text(text)
+            submitted = gateway.metrics.snapshot()["gateway.submitted"]
+            exposed = parsed.get("repro_gateway_submitted_total")
+            if exposed != float(submitted):
+                problems.append(
+                    f"prometheus: round-trip mismatch — "
+                    f"repro_gateway_submitted_total {exposed!r} != "
+                    f"snapshot {submitted}"
+                )
+            print(f"wrote {args.prom_out}: {len(parsed)} series")
+    finally:
+        gateway.close()
+    for p in problems:
+        print(f"events: {p}", file=sys.stderr)
+    return 1 if problems else 0
+
+
+def cmd_health(args) -> int:
+    """Serve a burst, evaluate per-model SLOs; exit 1 on any breach."""
+    gateway, _replies = _telemetry_burst(args, slo=_slo_from_args(args))
+    try:
+        health = gateway.health()
+    finally:
+        gateway.close()
+    breached = _print_health(health)
+    return 1 if breached else 0
+
+
+def cmd_slo(args) -> int:
+    """Serve a burst and print the full SLO evaluation + slo.* gauges."""
+    from repro.obs import SLOConfig, prometheus_text
+
+    slo = _slo_from_args(args)
+    if slo is None:
+        # no objectives: still evaluate (always healthy) so the window
+        # figures and gauges are populated
+        slo = SLOConfig(window_s=args.slo_window_s)
+    gateway, _replies = _telemetry_burst(args, slo=slo)
+    try:
+        health = gateway.health()
+        snapshot = gateway.metrics.snapshot()
+    finally:
+        gateway.close()
+    _print_health(health)
+    gauges = {
+        name: value
+        for name, value in sorted(snapshot.items())
+        if name.startswith("slo.")
+    }
+    print("slo gauges:")
+    print(format_snapshot(gauges, indent="  "))
+    if args.prometheus:
+        print(prometheus_text(gateway.metrics), end="")
+    return 0
+
+
 def cmd_experiments(args) -> int:
     from repro.experiments import runner
 
@@ -1005,6 +1182,77 @@ def build_parser() -> argparse.ArgumentParser:
         help="also record and schema-validate a Chrome trace of the sweep",
     )
     p.set_defaults(fn=cmd_loadgen)
+
+    def _add_slo_args(p):
+        p.add_argument(
+            "--slo-p95-ms", type=float, default=None,
+            help="SLO objective: target p95 end-to-end latency",
+        )
+        p.add_argument(
+            "--slo-error-budget-pct", type=float, default=None,
+            help="SLO objective: max %% of requests shed or failed",
+        )
+        p.add_argument(
+            "--slo-hit-rate", type=float, default=None,
+            help="SLO objective: min fraction of requests under the deadline",
+        )
+        p.add_argument(
+            "--slo-deadline-ms", type=float, default=None,
+            help="deadline the hit rate is measured against "
+            "(defaults to --deadline-ms)",
+        )
+        p.add_argument(
+            "--slo-window-s", type=float, default=60.0,
+            help="rolling evaluation window",
+        )
+
+    p = sub.add_parser(
+        "events",
+        help="serve a burst with the event log on; export + validate JSONL",
+    )
+    _add_gateway_args(p)
+    p.add_argument(
+        "--requests", type=int, default=48, help="requests to submit"
+    )
+    p.add_argument("--out", default="events.jsonl")
+    p.add_argument(
+        "--tail", type=int, default=10, help="print the last N events"
+    )
+    p.add_argument(
+        "--flight-dump", default=None, metavar="DIR",
+        help="also force a flight-recorder dump into DIR and validate it",
+    )
+    p.add_argument(
+        "--prom-out", default=None,
+        help="also write the Prometheus exposition and round-trip parse it",
+    )
+    p.set_defaults(fn=cmd_events)
+
+    p = sub.add_parser(
+        "health",
+        help="serve a burst, evaluate per-model SLOs; exit 1 on any breach",
+    )
+    _add_gateway_args(p)
+    p.add_argument(
+        "--requests", type=int, default=32, help="requests to submit"
+    )
+    _add_slo_args(p)
+    p.set_defaults(fn=cmd_health)
+
+    p = sub.add_parser(
+        "slo",
+        help="serve a burst and print the full SLO evaluation + slo.* gauges",
+    )
+    _add_gateway_args(p)
+    p.add_argument(
+        "--requests", type=int, default=32, help="requests to submit"
+    )
+    _add_slo_args(p)
+    p.add_argument(
+        "--prometheus", action="store_true",
+        help="also print the full Prometheus exposition",
+    )
+    p.set_defaults(fn=cmd_slo)
 
     p = sub.add_parser("experiments", help="regenerate the paper's tables/figures")
     p.add_argument("--appendix", action="store_true")

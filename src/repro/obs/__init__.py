@@ -8,9 +8,32 @@ Three pieces, one clock discipline:
 - :mod:`repro.obs.export` — Chrome ``trace_event`` JSON (Perfetto),
   schema validation and a text flamegraph;
 - :mod:`repro.obs.metrics` — the typed counter/gauge/histogram registry
-  that `EngineStats`, `MemoryProfile` and the cache stats are views of.
+  that `EngineStats`, `MemoryProfile` and the cache stats are views of;
+- :mod:`repro.obs.events` — the request-scoped structured event log
+  (per-thread rings like the tracer, joined to spans on ``request_id``)
+  plus the flight recorder that snapshots events+metrics+spans into a
+  postmortem ``flight_<reason>.json``;
+- :mod:`repro.obs.slo` — per-model SLO evaluation (p95 / error budget /
+  deadline hit rate) over rolling windows of the live metrics;
+- :mod:`repro.obs.prometheus` — deterministic Prometheus text
+  exposition of a whole registry.
 """
 
+from repro.obs.events import (
+    EVENT_KINDS,
+    EVENT_SCHEMA,
+    EVENT_SCHEMA_VERSION,
+    FLIGHT_SCHEMA,
+    FLIGHT_SCHEMA_VERSION,
+    NULL_EVENTS,
+    TERMINAL_KINDS,
+    Event,
+    EventLog,
+    FlightRecorder,
+    NullEventLog,
+    events_to_records,
+    write_events_jsonl,
+)
 from repro.obs.export import (
     chrome_trace,
     flamegraph_lines,
@@ -27,6 +50,16 @@ from repro.obs.metrics import (
     global_registry,
     quantile_from_counts,
 )
+from repro.obs.prometheus import parse_prometheus_text, prom_name, prometheus_text
+from repro.obs.slo import (
+    BREACHED,
+    DEGRADED,
+    HEALTHY,
+    STATUS_CODES,
+    ModelHealth,
+    SLOConfig,
+    SLOMonitor,
+)
 from repro.obs.trace import (
     DEFAULT_CAPACITY,
     NULL_TRACER,
@@ -39,24 +72,47 @@ from repro.obs.trace import (
 )
 
 __all__ = [
+    "BREACHED",
     "DEFAULT_CAPACITY",
+    "DEGRADED",
+    "EVENT_KINDS",
+    "EVENT_SCHEMA",
+    "EVENT_SCHEMA_VERSION",
+    "FLIGHT_SCHEMA",
+    "FLIGHT_SCHEMA_VERSION",
+    "HEALTHY",
+    "NULL_EVENTS",
     "NULL_TRACER",
+    "STATUS_CODES",
+    "TERMINAL_KINDS",
     "Counter",
+    "Event",
+    "EventLog",
+    "FlightRecorder",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
+    "ModelHealth",
+    "NullEventLog",
     "NullTracer",
+    "SLOConfig",
+    "SLOMonitor",
     "Span",
     "SpanRecord",
     "Tracer",
     "active_tracer",
     "chrome_trace",
+    "events_to_records",
     "flamegraph_lines",
     "format_snapshot",
     "global_registry",
     "iter_children",
     "node_seconds",
+    "parse_prometheus_text",
+    "prom_name",
+    "prometheus_text",
     "quantile_from_counts",
     "validate_chrome_trace",
     "write_chrome_trace",
+    "write_events_jsonl",
 ]

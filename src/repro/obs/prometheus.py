@@ -1,0 +1,117 @@
+"""Prometheus text exposition for the :class:`MetricsRegistry`.
+
+:func:`prometheus_text` renders one registry — counters, gauges and the
+repo's exact-bucket histograms — in the Prometheus text format
+(version 0.0.4), deterministically:
+
+- metric names are sanitized (``gateway.quicknet_small.latency_ms`` →
+  ``repro_gateway_quicknet_small_latency_ms``) and emitted in sorted
+  order with a ``# TYPE`` line each;
+- counters get the conventional ``_total`` suffix;
+- histograms render their exact value buckets as *cumulative*
+  ``_bucket{le="..."}`` series (sorted by bucket value, closed by
+  ``le="+Inf"``) plus ``_sum`` and ``_count`` — the shape PromQL's
+  ``histogram_quantile`` expects;
+- numbers format via ``repr`` (shortest round-trip), so the same
+  snapshot always renders the same bytes.
+
+:func:`parse_prometheus_text` reads the format back into a flat
+``series -> value`` dict; the telemetry smoke test round-trips a live
+gateway registry through it.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any, Iterable
+
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+
+#: prefix stamped on every exposed metric name
+NAME_PREFIX = "repro"
+
+_SANITIZE = re.compile(r"[^a-zA-Z0-9_]")
+
+
+def prom_name(name: str, prefix: str = NAME_PREFIX) -> str:
+    """The exposed (sanitized, prefixed) form of a registry name."""
+    base = _SANITIZE.sub("_", name)
+    return f"{prefix}_{base}" if prefix else base
+
+
+def _fmt(value: Any) -> str:
+    if isinstance(value, bool):  # bool is an int subclass; be explicit
+        return "1" if value else "0"
+    if isinstance(value, int):
+        return str(value)
+    return repr(float(value))
+
+
+def _histogram_lines(
+    name: str, snap: dict[str, Any]
+) -> Iterable[str]:
+    yield f"# TYPE {name} histogram"
+    cumulative = 0
+    counts = snap.get("counts", {})
+    for value in sorted(counts, key=float):
+        cumulative += counts[value]
+        yield f'{name}_bucket{{le="{_fmt(float(value))}"}} {cumulative}'
+    yield f'{name}_bucket{{le="+Inf"}} {snap["count"]}'
+    yield f"{name}_sum {_fmt(snap['total'])}"
+    yield f"{name}_count {snap['count']}"
+
+
+def prometheus_text(
+    registry: MetricsRegistry, prefix: str = NAME_PREFIX
+) -> str:
+    """Render every instrument in ``registry`` as Prometheus text.
+
+    One consistent :meth:`~MetricsRegistry.snapshot` feeds the whole
+    rendering, so the exposed values are mutually consistent (the same
+    guarantee ``GatewayStats`` relies on).
+    """
+    snap = registry.snapshot()
+    lines: list[str] = []
+    for name in sorted(snap):
+        instrument = registry.get(name)
+        exposed = prom_name(name, prefix)
+        value = snap[name]
+        if isinstance(instrument, Histogram):
+            lines.extend(_histogram_lines(exposed, value))
+        elif isinstance(instrument, Counter):
+            lines.append(f"# TYPE {exposed} counter")
+            lines.append(f"{exposed}_total {_fmt(value)}")
+        elif isinstance(instrument, Gauge):
+            lines.append(f"# TYPE {exposed} gauge")
+            lines.append(f"{exposed} {_fmt(value)}")
+        # instruments dropped between snapshot and get(): skip silently
+    return "\n".join(lines) + "\n" if lines else ""
+
+
+def parse_prometheus_text(text: str) -> dict[str, float]:
+    """Parse exposition text back into ``series -> value``.
+
+    Series keys keep their label part verbatim (``name{le="2.0"}``), so
+    a round-trip test can address individual histogram buckets.
+    Malformed lines raise ``ValueError`` — the smoke test treats any
+    unparseable output as a failure.
+    """
+    out: dict[str, float] = {}
+    for lineno, line in enumerate(text.splitlines(), 1):
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        parts = line.rsplit(" ", 1)
+        if len(parts) != 2:
+            raise ValueError(f"line {lineno}: not a series line: {line!r}")
+        series, raw = parts
+        try:
+            value = float(raw)
+        except ValueError:
+            raise ValueError(
+                f"line {lineno}: bad sample value {raw!r}"
+            ) from None
+        if series in out:
+            raise ValueError(f"line {lineno}: duplicate series {series!r}")
+        out[series] = value
+    return out

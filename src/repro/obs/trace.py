@@ -222,6 +222,19 @@ class Tracer:
         with self._lock:
             return sum(buf.dropped for buf in self._buffers)
 
+    def active_stacks(self) -> dict[int, tuple[str, ...]]:
+        """Per-thread live span-name stacks (threads inside a span now).
+
+        The flight recorder snapshots this at dump time: it answers
+        "what was every thread doing" without waiting for spans to close.
+        """
+        with self._lock:
+            return {
+                buf.tid: tuple(buf.stack)
+                for buf in self._buffers
+                if buf.stack
+            }
+
     def clear(self) -> None:
         """Drop every recorded span (live span stacks are preserved)."""
         with self._lock:
@@ -274,6 +287,9 @@ class NullTracer:
     @property
     def dropped(self) -> int:
         return 0
+
+    def active_stacks(self) -> dict[int, tuple[str, ...]]:
+        return {}
 
     def clear(self) -> None:
         return None

@@ -33,6 +33,7 @@ import numpy as np
 from repro.concurrency.locks import ordered_lock
 from repro.core.bitpack import PackedTensor
 from repro.graph.ir import Graph
+from repro.obs.events import NULL_EVENTS, EventLog, NullEventLog
 from repro.obs.metrics import MetricsRegistry, global_registry
 from repro.obs.trace import NULL_TRACER, NullTracer, Tracer
 from repro.runtime.plan import CompiledPlan, ParamCache, compile_plan
@@ -224,6 +225,11 @@ class Engine:
 
         #: tracer recording this engine's spans; NULL_TRACER when disabled
         self.tracer: Tracer | NullTracer = trace if trace is not None else NULL_TRACER
+        #: event log receiving plan-level events (``plan.compile``,
+        #: ``engine.batch``); NULL_EVENTS when telemetry is off.  The
+        #: serving gateway assigns its log here post-construction so
+        #: custom ``engine_factory`` signatures stay unchanged.
+        self.events: EventLog | NullEventLog = NULL_EVENTS
 
         # Every counter is an instrument of the per-engine registry; grouped
         # updates and `stats()` snapshots share the registry's single lock,
@@ -277,6 +283,7 @@ class Engine:
     # ------------------------------------------------------------- plumbing
     def plan(self, batch_factor: int = 1) -> CompiledPlan:
         """The cached :class:`CompiledPlan` for ``batch_factor``."""
+        compiled = False
         with self._plan_lock:
             plan = self._plans.get(batch_factor)
             if plan is None:
@@ -290,9 +297,26 @@ class Engine:
                     tuning=self._tuning,
                 )
                 self._plans[batch_factor] = plan
+                compiled = True
             else:
                 self._m_plan_hits.inc()
-            return plan
+        # The compile event lands after the plan lock is released: the
+        # event log's own lock ranks above it, and cache hits (the hot
+        # path) emit nothing.
+        if compiled and self.events.enabled:
+            self.events.emit(
+                "plan.compile",
+                batch_factor=batch_factor,
+                profile_id=(
+                    self._profile.name if self._profile is not None else "default"
+                ),
+                tuning_id=(
+                    self._tuning.name if self._tuning is not None else "none"
+                ),
+                scheduled_nodes=len(plan.schedule),
+                tuned_nodes=plan.tuned_nodes,
+            )
+        return plan
 
     def _normalize_request(self, inputs: Sequence[Value]) -> Request:
         if len(inputs) != len(self.graph.inputs):
@@ -353,6 +377,13 @@ class Engine:
             for name, t in node_times.items():
                 self._node_time_s[name] = self._node_time_s.get(name, 0.0) + t
             self._last_node_times = node_times
+        events = self.events
+        if events.enabled:
+            events.emit(
+                "engine.batch",
+                batch_factor=plan.batch_factor,
+                busy_s=elapsed,
+            )
         return outputs
 
     @staticmethod

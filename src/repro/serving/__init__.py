@@ -14,7 +14,16 @@ driving ``BENCH_serving.json``:
   :func:`run_load`;
 - :mod:`repro.serving.bench` — the ``make bench-serving`` sweep and the
   ``BENCH_serving.json`` schema oracle.
+
+Production telemetry rides on :mod:`repro.obs`: attach an
+:class:`~repro.obs.events.EventLog` for request-scoped events, a
+per-model :class:`~repro.obs.slo.SLOConfig` for ``Gateway.health()``,
+and a :class:`~repro.obs.events.FlightRecorder` for postmortem dumps
+(re-exported here for convenience).
 """
+
+from repro.obs.events import EventLog, FlightRecorder
+from repro.obs.slo import ModelHealth, SLOConfig, SLOMonitor
 
 from repro.serving.clock import MONOTONIC_CLOCK, Clock, MonotonicClock
 from repro.serving.gateway import (
@@ -47,12 +56,17 @@ __all__ = [
     "SHED_UNKNOWN_MODEL",
     "Arrival",
     "Clock",
+    "EventLog",
+    "FlightRecorder",
     "Gateway",
     "GatewayConfig",
     "GatewayStats",
     "LoadReport",
+    "ModelHealth",
     "MonotonicClock",
     "Rejected",
+    "SLOConfig",
+    "SLOMonitor",
     "TrafficProfile",
     "generate_arrivals",
     "run_load",

@@ -20,7 +20,10 @@ The output contract (``BENCH_serving.json``):
   perf numbers trace to the cost model that priced them;
 - ``curves``: one row per offered-load point (at least three), each with
   ``offered_rps``/``achieved_rps``/counts/percentiles/``mean_batch``;
-- ``metrics``: the last gateway's unified registry snapshot.
+- ``metrics``: the last gateway's unified registry snapshot;
+- ``telemetry``: the event-log roll-up across all points — event and
+  drop counts, flight-dump count, per-model health statuses — proving
+  the telemetry layer watched the run that produced the curves.
 """
 
 from __future__ import annotations
@@ -31,6 +34,8 @@ from typing import Any, Mapping, Sequence
 import numpy as np
 
 from repro.concurrency.locks import sanitizer_enabled
+from repro.obs.events import EVENT_SCHEMA_VERSION, EventLog
+from repro.obs.slo import STATUS_CODES
 from repro.serving.gateway import Gateway, GatewayConfig
 from repro.serving.loadgen import generate_arrivals, run_load
 
@@ -101,9 +106,13 @@ def run_bench(
     verified = True
     metrics: dict[str, Any] = {}
     device_profile = "default"
+    events_total = 0
+    events_dropped = 0
+    health: dict[str, str] = {}
     for rate in rates:
         arrivals = generate_arrivals(profile, rate, duration_s, rng)
-        with Gateway(models, config, trace=trace) as gateway:
+        event_log = EventLog()
+        with Gateway(models, config, trace=trace, events=event_log) as gateway:
             gateway.warmup(factors=(1, config.max_batch))
             # The cost model in force on the replica engines ('default'
             # unless a calibrated DeviceProfile was injected).
@@ -114,6 +123,11 @@ def run_bench(
             )
             stats = gateway.stats()
             metrics = gateway.metrics_snapshot()
+            health = {
+                name: h.status for name, h in gateway.health().items()
+            }
+        events_total += len(event_log.events())
+        events_dropped += event_log.dropped
         verified = verified and stats.verified
         curves.append(
             {
@@ -152,6 +166,16 @@ def run_bench(
         "sanitized": sanitizer_enabled(),
         "curves": curves,
         "metrics": metrics,
+        "telemetry": {
+            "events_schema_version": EVENT_SCHEMA_VERSION,
+            "events": events_total,
+            "events_dropped": events_dropped,
+            # the tracer (when attached) spans all points; its drop
+            # count is already cumulative
+            "trace_dropped": trace.dropped if trace is not None else 0,
+            "flight_dumps": 0,  # the bench attaches no flight recorder
+            "health": health,
+        },
     }
 
 
@@ -177,6 +201,32 @@ def validate_bench_serving(obj: Any) -> list[str]:
         )
     if not isinstance(obj.get("metrics"), dict) or not obj.get("metrics"):
         problems.append("metrics must be a non-empty snapshot object")
+    telemetry = obj.get("telemetry")
+    if not isinstance(telemetry, dict):
+        problems.append("telemetry must be an object (the event-log roll-up)")
+    else:
+        if telemetry.get("events_schema_version") != EVENT_SCHEMA_VERSION:
+            problems.append(
+                f"telemetry.events_schema_version must be "
+                f"{EVENT_SCHEMA_VERSION}, got "
+                f"{telemetry.get('events_schema_version')!r}"
+            )
+        for key in ("events", "events_dropped", "trace_dropped", "flight_dumps"):
+            value = telemetry.get(key)
+            if not isinstance(value, int) or isinstance(value, bool) or value < 0:
+                problems.append(
+                    f"telemetry.{key} must be a non-negative int"
+                )
+        health = telemetry.get("health")
+        if not isinstance(health, dict):
+            problems.append("telemetry.health must be a model -> status object")
+        else:
+            for name, status in health.items():
+                if status not in STATUS_CODES:
+                    problems.append(
+                        f"telemetry.health[{name!r}]: unknown status "
+                        f"{status!r} (want one of {sorted(STATUS_CODES)})"
+                    )
     curves = obj.get("curves")
     if not isinstance(curves, list) or len(curves) < 3:
         problems.append("curves must list >= 3 offered-load points")

@@ -27,7 +27,17 @@ Observability: every admission decision and batch lands in the gateway's
 (grouped updates keep ``submitted == accepted + shed`` true at *every*
 snapshot), and a :class:`~repro.obs.trace.Tracer` records
 ``gateway.flush`` spans that nest the engine's existing
-``engine.run_many`` → ``plan.execute`` → kernel spans.
+``engine.run_many`` → ``plan.execute`` → kernel spans.  With an
+:class:`~repro.obs.events.EventLog` attached, the gateway additionally
+mints a ``request_id`` per submit and threads it through the request's
+whole lifecycle — ``request.accept`` / ``request.coalesce`` /
+``batch.flush`` / exactly one terminal ``request.complete`` |
+``request.shed`` | ``request.failed`` — and into the span args, so
+traces and events join on one id.  A per-model
+:class:`~repro.obs.slo.SLOConfig` turns the live histograms into
+:meth:`Gateway.health`, and a :class:`~repro.obs.events.FlightRecorder`
+snapshots a postmortem dump on shed storms, replica quarantine,
+sanitizer ``LockOrderError`` or an explicit :meth:`Gateway.dump`.
 
 Determinism contract: an accepted request's reply is bit-identical to
 running that request alone through ``Engine.run`` — the gateway only
@@ -37,6 +47,7 @@ re-batches, it never re-orders values inside a batch (see
 
 from __future__ import annotations
 
+import itertools
 import threading
 import time
 from collections import deque
@@ -44,9 +55,15 @@ from concurrent.futures import Future
 from dataclasses import dataclass, field
 from typing import Any, Callable, Mapping, Sequence
 
-from repro.concurrency.locks import ordered_lock
+from repro.concurrency.locks import (
+    on_lock_order_error,
+    ordered_lock,
+    remove_lock_order_error_hook,
+)
 from repro.graph.ir import Graph
+from repro.obs.events import NULL_EVENTS, EventLog, FlightRecorder, NullEventLog
 from repro.obs.metrics import MetricsRegistry, global_registry, quantile_from_counts
+from repro.obs.slo import HEALTHY, ModelHealth, SLOConfig, SLOMonitor
 from repro.obs.trace import NULL_TRACER, NullTracer, Tracer
 from repro.runtime.engine import Engine
 from repro.runtime.plan import ParamCache
@@ -178,15 +195,21 @@ def _resolve(future: Future, value: Any) -> None:
 class _Pending:
     """One admitted request waiting in a model queue."""
 
-    __slots__ = ("request", "factor", "future", "t_submit")
+    __slots__ = ("request", "factor", "future", "t_submit", "request_id")
 
     def __init__(
-        self, request: Request, factor: int, future: Future, t_submit: float
+        self,
+        request: Request,
+        factor: int,
+        future: Future,
+        t_submit: float,
+        request_id: str | None = None,
     ) -> None:
         self.request = request
         self.factor = factor
         self.future = future
         self.t_submit = t_submit
+        self.request_id = request_id
 
 
 class _Replica:
@@ -233,6 +256,8 @@ class _ModelServer:
         coalescer: Coalescer,
         gateway_counters: dict[str, Any],
         engine_factory: Callable[..., Engine] | None = None,
+        events: EventLog | NullEventLog = NULL_EVENTS,
+        flight: FlightRecorder | None = None,
     ) -> None:
         self.name = name
         self._config = config
@@ -242,6 +267,8 @@ class _ModelServer:
         self._scheduler = scheduler
         self._coalescer = coalescer
         self._g = gateway_counters
+        self._events = events
+        self._flight = flight
 
         self._lock = ordered_lock("serving.server")
         self._cond = threading.Condition(self._lock)
@@ -275,6 +302,12 @@ class _ModelServer:
             )
             for idx in range(config.replicas)
         ]
+        # Plan-level engine events (plan.compile, engine.batch) land in
+        # the same log as the gateway's request lifecycle; assigning the
+        # attribute post-construction keeps custom engine_factory
+        # signatures working.
+        for replica in self._replicas:
+            replica.engine.events = events
 
         m = metrics
         self._m_accepted = m.counter(f"gateway.{name}.accepted")
@@ -321,7 +354,13 @@ class _ModelServer:
                 replica.engine.plan(factor)
 
     # ----------------------------------------------------------- admission
-    def submit(self, request: Request, factor: int, future: Future) -> None:
+    def submit(
+        self,
+        request: Request,
+        factor: int,
+        future: Future,
+        request_id: str | None = None,
+    ) -> None:
         """Admit or shed; always resolves ``future`` eventually."""
         t_submit = self._clock.now()
         reason: str | None = None
@@ -339,13 +378,30 @@ class _ModelServer:
                     self._g["submitted"].inc()
                     self._g["accepted"].inc()
                     self._m_accepted.inc()
-                self._queue.append(_Pending(request, factor, future, t_submit))
+                self._queue.append(
+                    _Pending(request, factor, future, t_submit, request_id)
+                )
                 self._queued_factor += factor
                 self._cond.notify()
         if reason is not None:
-            self._shed(future, reason)
+            self._shed(future, reason, request_id=request_id)
+            return
+        events = self._events
+        if events.enabled:
+            events.emit(
+                "request.accept",
+                request_id=request_id,
+                model=self.name,
+                factor=factor,
+            )
 
-    def _shed(self, future: Future, reason: str, detail: str = "") -> None:
+    def _shed(
+        self,
+        future: Future,
+        reason: str,
+        detail: str = "",
+        request_id: str | None = None,
+    ) -> None:
         with self._metrics.lock():
             self._g["submitted"].inc()
             self._g["shed"].inc()
@@ -354,9 +410,21 @@ class _ModelServer:
         if tracer.enabled:
             tracer.record(
                 "gateway.shed", time.perf_counter(), 0.0,
-                model=self.name, reason=reason,
+                model=self.name, reason=reason, request_id=request_id,
+            )
+        events = self._events
+        if events.enabled:
+            events.emit(
+                "request.shed",
+                request_id=request_id,
+                model=self.name,
+                reason=reason,
             )
         _resolve(future, Rejected(self.name, reason, detail))
+        # Storm detection runs last and lock-free: a firing dump walks
+        # the event log and the metrics snapshot.
+        if self._flight is not None:
+            self._flight.note_shed()
 
     # ------------------------------------------------------------- batcher
     def _batcher_loop(self) -> None:
@@ -393,6 +461,15 @@ class _ModelServer:
 
     def _dispatch(self, batch: list[_Pending]) -> None:
         """Hand a formed batch to an idle healthy replica (or shed)."""
+        events = self._events
+        if events.enabled:
+            for p in batch:
+                events.emit(
+                    "request.coalesce",
+                    request_id=p.request_id,
+                    model=self.name,
+                    batch_requests=len(batch),
+                )
         with self._replica_cond:
             while True:
                 healthy = [r for r in self._replicas if not r.quarantined]
@@ -413,6 +490,13 @@ class _ModelServer:
             self._m_failed.add(len(batch))
             self._g["failed"].add(len(batch))
         for p in batch:
+            if events.enabled:
+                events.emit(
+                    "request.failed",
+                    request_id=p.request_id,
+                    model=self.name,
+                    reason=SHED_NO_HEALTHY_REPLICA,
+                )
             _resolve(
                 p.future,
                 Rejected(self.name, SHED_NO_HEALTHY_REPLICA, "replica pool dead"),
@@ -437,6 +521,16 @@ class _ModelServer:
         size = sum(p.factor for p in batch)
         requests = [p.request for p in batch]
         tracer = self._tracer
+        events = self._events
+        if events.enabled:
+            events.emit(
+                "batch.flush",
+                model=self.name,
+                replica=replica.idx,
+                requests=len(batch),
+                size=size,
+                request_ids=[p.request_id for p in batch],
+            )
         try:
             if tracer.enabled:
                 with tracer.span(
@@ -445,6 +539,7 @@ class _ModelServer:
                     replica=replica.idx,
                     requests=len(batch),
                     size=size,
+                    request_ids=[p.request_id for p in batch],
                 ):
                     results = replica.engine.run_many(requests)
             else:
@@ -467,6 +562,14 @@ class _ModelServer:
                 self._m_latency.observe(latency_ms)
                 self._g["latency_ms"].observe(latency_ms)
         for p, result in zip(batch, results):
+            if events.enabled:
+                events.emit(
+                    "request.complete",
+                    request_id=p.request_id,
+                    model=self.name,
+                    replica=replica.idx,
+                    latency_ms=round((end - p.t_submit) * 1e3, 3),
+                )
             _resolve(p.future, result)
 
     def _record_failure(
@@ -475,7 +578,10 @@ class _ModelServer:
         """Fault isolation: count, maybe quarantine, answer with Rejected."""
         with self._replica_cond:
             replica.consecutive_failures += 1
-            if replica.consecutive_failures >= self._config.max_replica_failures:
+            quarantined = (
+                replica.consecutive_failures >= self._config.max_replica_failures
+            )
+            if quarantined:
                 replica.quarantined = True
             self._replica_cond.notify_all()
         with self._metrics.lock():
@@ -483,8 +589,29 @@ class _ModelServer:
             self._m_failed.add(len(batch))
             self._g["failed"].add(len(batch))
         detail = f"{type(exc).__name__}: {exc}"
+        events = self._events
+        if events.enabled and quarantined:
+            events.emit(
+                "replica.quarantine",
+                model=self.name,
+                replica=replica.idx,
+                failures=replica.consecutive_failures,
+            )
         for p in batch:
+            if events.enabled:
+                events.emit(
+                    "request.failed",
+                    request_id=p.request_id,
+                    model=self.name,
+                    replica=replica.idx,
+                    reason=FAILED_REPLICA,
+                    detail=detail,
+                )
             _resolve(p.future, Rejected(self.name, FAILED_REPLICA, detail))
+        # The postmortem trigger runs last, lock-free, after every future
+        # is answered; the dump itself is rate-limited.
+        if quarantined and self._flight is not None:
+            self._flight.trigger("replica_quarantine")
 
     # --------------------------------------------------------------- close
     def close(self) -> None:
@@ -529,6 +656,18 @@ class Gateway:
             nest the replica engines' spans in the same timeline.
         scheduler_factory: builds one placement policy per model;
             overrides ``config.scheduler``.
+        events: optional :class:`~repro.obs.events.EventLog`; when
+            attached, the gateway mints request ids and emits the full
+            request lifecycle (plus engine plan events) into it, on the
+            gateway's clock.
+        slo: per-model SLOs — one :class:`~repro.obs.slo.SLOConfig`
+            applied to every model, or a ``model -> SLOConfig`` mapping
+            (unlisted models evaluate healthy).  Enables
+            :meth:`health` with real verdicts and ``slo.*`` gauges.
+        flight: optional :class:`~repro.obs.events.FlightRecorder`;
+            the gateway binds it to its event log / metrics / tracer /
+            clock and trips it on shed storms, replica quarantine,
+            sanitizer ``LockOrderError`` and :meth:`dump`.
     """
 
     def __init__(
@@ -540,6 +679,9 @@ class Gateway:
         trace: Tracer | None = None,
         scheduler_factory: Callable[[], Scheduler] | None = None,
         engine_factory: Callable[..., Engine] | None = None,
+        events: EventLog | None = None,
+        slo: SLOConfig | Mapping[str, SLOConfig] | None = None,
+        flight: FlightRecorder | None = None,
     ) -> None:
         if not models:
             raise ValueError("gateway requires at least one model")
@@ -547,9 +689,32 @@ class Gateway:
         self.config.validate()
         self.clock: Clock = clock if clock is not None else MONOTONIC_CLOCK
         self.tracer: Tracer | NullTracer = trace if trace is not None else NULL_TRACER
+        self.events: EventLog | NullEventLog = (
+            events if events is not None else NULL_EVENTS
+        )
+        # Gateway and engine events share the gateway's timebase; under
+        # a FakeClock the whole stream is deterministic.
+        self.events.use_clock(self.clock)
+        self._req_seq = itertools.count(1)
         self.metrics = MetricsRegistry()
         if scheduler_factory is None:
             scheduler_factory = SCHEDULERS[self.config.scheduler]
+
+        self._flight = flight
+        if flight is not None:
+            flight.bind(
+                events=self.events,
+                metrics_fn=self.metrics_snapshot,
+                tracer=self.tracer,
+                now=self.clock.now,
+            )
+            # The hook must not acquire locks (it fires mid-violation on
+            # the erring thread); defer() is a plain attribute write and
+            # flush_pending() dumps at the next safe point.
+            self._flight_hook = lambda err: flight.defer("lock_order")
+            on_lock_order_error(self._flight_hook)
+        else:
+            self._flight_hook = None
 
         m = self.metrics
         self._g = {
@@ -562,6 +727,12 @@ class Gateway:
             "batch_size": m.histogram("gateway.batch_size"),
             "latency_ms": m.histogram("gateway.latency_ms"),
         }
+        # Ring truncation is never silent: drop counts ride every
+        # snapshot (and the Prometheus exposition).
+        m.gauge("obs.trace.dropped", lambda: self.tracer.dropped)
+        m.gauge("obs.events.dropped", lambda: self.events.dropped)
+        if flight is not None:
+            m.gauge("obs.flight.dumps", lambda: flight.dumps)
         self._servers: dict[str, _ModelServer] = {}
         self._close_lock = ordered_lock("serving.gateway.close")
         self._closed = False
@@ -577,6 +748,27 @@ class Gateway:
                 GreedyCoalescer(),
                 self._g,
                 engine_factory,
+                self.events,
+                flight,
+            )
+        self._slo: SLOMonitor | None = None
+        if slo is not None:
+            if isinstance(slo, SLOConfig):
+                configs: dict[str, SLOConfig | None] = {
+                    name: slo for name in self._servers
+                }
+            else:
+                unknown = sorted(set(slo) - set(self._servers))
+                if unknown:
+                    raise ValueError(
+                        f"SLO configured for unknown model(s): {unknown}"
+                    )
+                configs = {name: slo.get(name) for name in self._servers}
+            self._slo = SLOMonitor(
+                configs,
+                metrics_fn=self.metrics_snapshot,
+                registry=self.metrics,
+                now=self.clock.now,
             )
 
     # ------------------------------------------------------------ frontend
@@ -602,11 +794,19 @@ class Gateway:
         synchronously, exactly like ``Engine.run``.
         """
         tracer = self.tracer
+        events = self.events
         server = self._servers.get(model)
         if server is None:
             with self.metrics.lock():
                 self._g["submitted"].inc()
                 self._g["shed"].inc()
+            if events.enabled:
+                events.emit(
+                    "request.shed",
+                    request_id=f"{model}-{next(self._req_seq)}",
+                    model=model,
+                    reason=SHED_UNKNOWN_MODEL,
+                )
             future: Future = Future()
             _resolve(future, Rejected(model, SHED_UNKNOWN_MODEL))
             return future
@@ -614,12 +814,20 @@ class Gateway:
         # only *then* create the reply future: a raise between Future()
         # and its handoff would leak the future forever-pending (C004).
         request, factor = server.engines[0].normalize(inputs)
+        request_id = (
+            f"{model}-{next(self._req_seq)}" if events.enabled else None
+        )
         future = Future()
         if tracer.enabled:
-            with tracer.span("gateway.submit", model=model, factor=factor):
-                server.submit(request, factor, future)
+            with tracer.span(
+                "gateway.submit",
+                model=model,
+                factor=factor,
+                request_id=request_id,
+            ):
+                server.submit(request, factor, future, request_id)
         else:
-            server.submit(request, factor, future)
+            server.submit(request, factor, future, request_id)
         return future
 
     def close(self) -> None:
@@ -629,10 +837,54 @@ class Gateway:
         gateway close lock serializes callers, and each server's own
         close lock makes its drain single-shot.
         """
+        if self._flight is not None:
+            # Last chance for a deferred (lock-order) dump while the
+            # telemetry sources are still live; then detach the hook.
+            self._flight.flush_pending()
+            if self._flight_hook is not None:
+                remove_lock_order_error_hook(self._flight_hook)
         with self._close_lock:
             self._closed = True
             for server in self._servers.values():
                 server.close()
+
+    # -------------------------------------------------------------- health
+    def health(self) -> dict[str, ModelHealth]:
+        """Per-model SLO verdicts for the current rolling window.
+
+        Without configured SLOs every model reports ``healthy`` with the
+        reason ``no slo configured``.  Evaluating also flushes any
+        deferred flight dump — health checks are the gateway's periodic
+        safe point.
+        """
+        if self._flight is not None:
+            self._flight.flush_pending()
+        if self._slo is not None:
+            return self._slo.evaluate()
+        return {
+            name: ModelHealth(
+                model=name,
+                status=HEALTHY,
+                reasons=("no slo configured",),
+                p95_ms=0.0,
+                error_rate=0.0,
+                deadline_hit_rate=1.0,
+                window_completed=0,
+                window_s=0.0,
+            )
+            for name in self._servers
+        }
+
+    def dump(self, reason: str = "manual") -> Any:
+        """Force a flight-recorder dump; returns the path or ``None``.
+
+        Explicit operator dumps bypass the rate limit.  ``None`` means
+        no :class:`FlightRecorder` is attached.
+        """
+        if self._flight is None:
+            return None
+        self._flight.flush_pending()
+        return self._flight.trigger(reason, force=True)
 
     def __enter__(self) -> "Gateway":
         return self

@@ -214,6 +214,25 @@ def test_l101_covers_tune_paths(tmp_path):
     assert _rules(diags) == {"L101"}
 
 
+def test_l101_covers_obs_contract_files(tmp_path):
+    # The event log and SLO monitor sit on (or are driven from) the
+    # serving hot path; they inherit the allocation discipline.
+    diags = _lint(
+        tmp_path, "src/repro/obs/events.py", _KERNEL_BAD, style=False
+    )
+    assert _rules(diags) == {"L101"}
+    diags = _lint(tmp_path, "src/repro/obs/slo.py", _KERNEL_BAD, style=False)
+    assert _rules(diags) == {"L101"}
+
+
+def test_l101_other_obs_files_stay_out_of_scope(tmp_path):
+    # export.py etc. are cold-path formatting; the contract is scoped to
+    # the two hot-path obs modules only.
+    assert not _lint(
+        tmp_path, "src/repro/obs/export.py", _KERNEL_BAD, style=False
+    )
+
+
 def test_l101_suppression_with_reason(tmp_path):
     src = _KERNEL_BAD.replace(
         "np.empty((4, 4), np.float32)",
@@ -393,6 +412,19 @@ def test_l104_covers_serving_paths(tmp_path):
 
         def jitter_deadline(ms):
             return ms + np.random.default_rng().random() + time.time()
+        """, style=False)
+    assert _rules(diags) == {"L104"}
+
+
+def test_l104_covers_obs_paths(tmp_path):
+    # Wall-clock reads in the SLO monitor would make window edges
+    # non-reproducible under a FakeClock; only monotonic timers (or the
+    # injected `now` callable) are legal.
+    diags = _lint(tmp_path, "src/repro/obs/slo.py", """\
+        import time
+
+        def sample_ts():
+            return time.time()
         """, style=False)
     assert _rules(diags) == {"L104"}
 

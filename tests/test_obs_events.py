@@ -1,0 +1,316 @@
+"""The structured event log and the flight recorder.
+
+The EventLog mirrors the Tracer's per-thread-ring design, so the same
+properties are pinned: bounded memory with counted (never silent) drops,
+stable timestamp ordering across threads, and a shared no-op instance
+for the disabled path.  The FlightRecorder tests drive every trigger —
+explicit, shed storm, deferred (the LockOrderError hook path) — on a
+virtual clock and schema-validate the dump artifact.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+
+import pytest
+
+from repro.analysis import validate_events, validate_flight
+from repro.obs import (
+    EVENT_KINDS,
+    EVENT_SCHEMA,
+    EVENT_SCHEMA_VERSION,
+    NULL_EVENTS,
+    TERMINAL_KINDS,
+    EventLog,
+    FlightRecorder,
+    MetricsRegistry,
+    Tracer,
+    events_to_records,
+    write_events_jsonl,
+)
+from repro.obs.events import request_kinds
+
+
+class _Clock:
+    """The minimal Clock protocol surface the event log uses."""
+
+    def __init__(self, start: float = 0.0) -> None:
+        self.t = start
+
+    def now(self) -> float:
+        return self.t
+
+
+# ------------------------------------------------------------------ EventLog
+def test_emit_and_collect_ordered_by_ts():
+    clock = _Clock()
+    log = EventLog(now=lambda: clock.t)
+    clock.t = 2.0
+    log.emit("request.accept", request_id="m-1", model="m")
+    clock.t = 1.0
+    log.emit("request.shed", request_id="m-2", model="m", reason="queue_full")
+    clock.t = 3.0
+    log.emit("request.complete", request_id="m-1", model="m", replica=0)
+    events = log.events()
+    assert [e.kind for e in events] == [
+        "request.shed",
+        "request.accept",
+        "request.complete",
+    ]
+    assert events[0].attrs == {"reason": "queue_full"}
+    assert events[2].replica == 0
+    assert log.dropped == 0
+
+
+def test_same_timestamp_keeps_emission_order():
+    log = EventLog(now=lambda: 5.0)
+    for i in range(10):
+        log.emit("engine.batch", i=i)
+    assert [e.attrs["i"] for e in log.events()] == list(range(10))
+
+
+def test_ring_overflow_drops_oldest_and_counts():
+    log = EventLog(capacity=4, now=lambda: 0.0)
+    for i in range(10):
+        log.emit("engine.batch", i=i)
+    events = log.events()
+    assert len(events) == 4
+    assert [e.attrs["i"] for e in events] == [6, 7, 8, 9]  # oldest gone
+    assert log.dropped == 6
+
+
+def test_capacity_must_be_positive():
+    with pytest.raises(ValueError):
+        EventLog(capacity=0)
+
+
+def test_per_thread_rings_merge_across_threads():
+    clock = _Clock()
+    log = EventLog(now=lambda: clock.t)
+
+    def worker(base):
+        for i in range(5):
+            log.emit("engine.batch", tid=base, i=i)
+
+    threads = [
+        threading.Thread(target=worker, args=(t,), daemon=True)
+        for t in range(3)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(10)
+    assert len(log.events()) == 15
+    assert log.dropped == 0
+
+
+def test_use_clock_rebinds_timebase():
+    log = EventLog()
+    clock = _Clock(start=42.0)
+    log.use_clock(clock)
+    log.emit("gateway.dump")
+    assert log.events()[0].ts == 42.0
+
+
+def test_clear_resets_events_and_drops():
+    log = EventLog(capacity=2, now=lambda: 0.0)
+    for i in range(5):
+        log.emit("engine.batch", i=i)
+    assert log.dropped == 3
+    log.clear()
+    assert log.events() == []
+    assert log.dropped == 0
+
+
+def test_null_events_is_inert():
+    assert NULL_EVENTS.enabled is False
+    NULL_EVENTS.emit("request.accept", request_id="x")
+    NULL_EVENTS.use_clock(_Clock())
+    assert NULL_EVENTS.events() == []
+    assert NULL_EVENTS.dropped == 0
+
+
+def test_terminal_kinds_subset_of_vocabulary():
+    assert TERMINAL_KINDS < EVENT_KINDS
+
+
+# ------------------------------------------------------------------- export
+def test_jsonl_export_round_trips_and_validates(tmp_path):
+    clock = _Clock()
+    log = EventLog(now=lambda: clock.t)
+    log.emit("request.accept", request_id="m-1", model="m", factor=2)
+    clock.t = 1.0
+    log.emit("request.complete", request_id="m-1", model="m", replica=1,
+             latency_ms=3.25)
+    path = tmp_path / "events.jsonl"
+    records = write_events_jsonl(log, path)
+    lines = path.read_text().splitlines()
+    assert len(lines) == 3
+    header = json.loads(lines[0])
+    assert header == {
+        "schema": EVENT_SCHEMA,
+        "version": EVENT_SCHEMA_VERSION,
+        "count": 2,
+        "dropped": 0,
+    }
+    assert [json.loads(line) for line in lines] == records
+    assert validate_events(records) == []
+
+
+def test_truncated_stream_skips_lifecycle_pairing():
+    log = EventLog(capacity=2, now=lambda: 0.0)
+    log.emit("request.accept", request_id="m-1", model="m")
+    log.emit("request.complete", request_id="m-1", model="m")
+    log.emit("request.complete", request_id="m-2", model="m")  # overwrites
+    records = events_to_records(log)
+    assert records[0]["dropped"] == 1
+    # m-2's accept was overwritten, not never-emitted: on a truncated
+    # stream pairing is skipped, so this is legal (and the truncation is
+    # visible in the header, never silent).
+    assert validate_events(records) == []
+
+
+def test_validator_flags_lifecycle_violations():
+    log = EventLog(now=lambda: 0.0)
+    log.emit("request.accept", request_id="a", model="m")  # no terminal
+    log.emit("request.complete", request_id="b", model="m")  # no accept
+    log.emit("request.accept", request_id="c", model="m")
+    log.emit("request.complete", request_id="c", model="m")
+    log.emit("request.failed", request_id="c", model="m")  # second terminal
+    problems = validate_events(events_to_records(log))
+    assert any("a" in p and "terminal" in p for p in problems)
+    assert any("'b'" in p for p in problems)
+    assert any("'c'" in p for p in problems)
+
+
+def test_validator_flags_unknown_kind_and_bad_header():
+    log = EventLog(now=lambda: 0.0)
+    log.emit("request.accept", request_id="a", model="m")
+    records = events_to_records(log)
+    records[1]["kind"] = "request.bogus"
+    assert any("kind" in p for p in validate_events(records))
+    assert validate_events([]) != []
+    bad = events_to_records(EventLog(now=lambda: 0.0))
+    bad[0]["version"] = 999
+    assert any("version" in p for p in validate_events(bad))
+
+
+def test_request_kinds_indexes_lifecycle_only():
+    records = [
+        {"kind": "request.accept", "request_id": "a"},
+        {"kind": "batch.flush", "request_id": None},
+        {"kind": "engine.batch", "request_id": None},
+        {"kind": "request.complete", "request_id": "a"},
+        {"kind": "request.shed", "request_id": "b"},
+    ]
+    assert request_kinds(records) == {
+        "a": ["request.accept", "request.complete"],
+        "b": ["request.shed"],
+    }
+
+
+# ----------------------------------------------------------- FlightRecorder
+def _recorder(tmp_path, clock, **kwargs):
+    recorder = FlightRecorder(tmp_path, **kwargs)
+    log = EventLog(now=lambda: clock.t)
+    registry = MetricsRegistry()
+    registry.counter("gateway.submitted").add(7)
+    recorder.bind(
+        events=log,
+        metrics_fn=registry.snapshot,
+        tracer=Tracer(),
+        now=lambda: clock.t,
+    )
+    return recorder, log
+
+
+def test_trigger_writes_schema_valid_dump(tmp_path):
+    clock = _Clock(start=10.0)
+    recorder, log = _recorder(tmp_path, clock)
+    log.emit("request.accept", request_id="m-1", model="m")
+    path = recorder.trigger("manual")
+    assert path is not None and path.name == "flight_manual.json"
+    obj = json.loads(path.read_text())
+    assert validate_flight(obj) == []
+    assert obj["reason"] == "manual"
+    assert obj["ts"] == 10.0
+    assert obj["metrics"]["gateway.submitted"] == 7
+    # the dump itself lands in the event stream (the black box records
+    # its own activation)
+    kinds = [e["kind"] for e in obj["events"]]
+    assert kinds == ["request.accept", "gateway.dump"]
+    assert recorder.dumps == 1
+
+
+def test_rate_limit_suppresses_then_recovers(tmp_path):
+    clock = _Clock()
+    recorder, _log = _recorder(tmp_path, clock, min_interval_s=5.0)
+    assert recorder.trigger("first") is not None
+    clock.t = 1.0
+    assert recorder.trigger("second") is None  # inside the interval
+    assert recorder.suppressed == 1
+    clock.t = 1.5
+    assert recorder.trigger("forced", force=True) is not None  # bypass
+    clock.t = 10.0
+    assert recorder.trigger("third") is not None
+    assert recorder.dumps == 3
+
+
+def test_shed_storm_fires_at_threshold_within_window(tmp_path):
+    clock = _Clock()
+    recorder, _log = _recorder(
+        tmp_path, clock,
+        shed_storm_threshold=3, shed_storm_window_s=1.0, min_interval_s=0.0,
+    )
+    assert recorder.note_shed() is None
+    assert recorder.note_shed() is None
+    path = recorder.note_shed()  # third shed inside the window: storm
+    assert path is not None and path.name == "flight_shed_storm.json"
+    assert validate_flight(json.loads(path.read_text())) == []
+    # the window was cleared: the count restarts
+    assert recorder.note_shed() is None
+
+
+def test_slow_sheds_never_cluster_into_a_storm(tmp_path):
+    clock = _Clock()
+    recorder, _log = _recorder(
+        tmp_path, clock, shed_storm_threshold=3, shed_storm_window_s=1.0,
+    )
+    for _ in range(10):
+        assert recorder.note_shed() is None
+        clock.t += 2.0  # each shed falls out of the window before the next
+    assert recorder.dumps == 0
+
+
+def test_defer_parks_until_flush_pending(tmp_path):
+    clock = _Clock()
+    recorder, _log = _recorder(tmp_path, clock)
+    recorder.defer("lock_order")
+    recorder.defer("second")  # first reason wins; racing errors collapse
+    assert recorder.dumps == 0  # nothing written yet
+    path = recorder.flush_pending()
+    assert path is not None and path.name == "flight_lock_order.json"
+    assert recorder.flush_pending() is None  # drained
+
+
+def test_reason_is_sanitized_for_the_filename(tmp_path):
+    clock = _Clock()
+    recorder, _log = _recorder(tmp_path, clock)
+    path = recorder.trigger("weird reason/../x")
+    assert path is not None
+    assert path.name == "flight_weird_reason_.._x.json"
+    assert path.parent == tmp_path
+
+
+def test_dump_keeps_only_last_n_events(tmp_path):
+    clock = _Clock()
+    recorder, log = _recorder(tmp_path, clock, last_n=4)
+    for i in range(10):
+        log.emit("engine.batch", i=i)
+    obj = json.loads(recorder.trigger("manual").read_text())
+    assert validate_flight(obj) == []
+    assert len(obj["events"]) == 4
+    # the newest events survive, including the dump's own event
+    assert obj["events"][-1]["kind"] == "gateway.dump"
+    assert [e["attrs"].get("i") for e in obj["events"][:-1]] == [7, 8, 9]

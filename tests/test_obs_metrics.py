@@ -26,6 +26,7 @@ from repro.obs.metrics import (
     MetricsRegistry,
     format_snapshot,
     global_registry,
+    quantile_from_counts,
 )
 from repro.runtime import Engine
 
@@ -142,6 +143,86 @@ class TestRegistry:
         stop.set()
         w.join()
         assert not bad, f"snapshot observed a half-counted batch: {bad[0]}"
+
+
+class TestHistogramQuantile:
+    """Edge cases of the nearest-rank quantile the SLO monitor leans on."""
+
+    def test_empty_histogram_is_zero(self):
+        h = MetricsRegistry().histogram("h")
+        assert h.quantile(0.0) == 0.0
+        assert h.quantile(0.95) == 0.0
+        assert h.quantile(1.0) == 0.0
+
+    def test_single_bucket_mass_always_answers_that_bucket(self):
+        h = MetricsRegistry().histogram("h")
+        for _ in range(100):
+            h.observe(7.5)
+        for q in (0.0, 0.01, 0.5, 0.95, 1.0):
+            assert h.quantile(q) == 7.5
+
+    def test_all_mass_in_the_top_bucket(self):
+        """One light low bucket, everything else in the highest bucket:
+        every interesting quantile lands on the top value (the fallback
+        return path when the rank walks past the last bucket)."""
+        h = MetricsRegistry().histogram("h")
+        h.observe(1.0)
+        for _ in range(99):
+            h.observe(1000.0)
+        assert h.quantile(0.01) == 1.0
+        assert h.quantile(0.02) == 1000.0
+        assert h.quantile(0.95) == 1000.0
+        assert h.quantile(1.0) == 1000.0
+
+    def test_quantile_bounds_are_enforced(self):
+        h = MetricsRegistry().histogram("h")
+        h.observe(1)
+        with pytest.raises(ValueError):
+            h.quantile(-0.1)
+        with pytest.raises(ValueError):
+            h.quantile(1.1)
+
+    def test_quantile_from_counts_accepts_stringified_keys(self):
+        # JSON round-trips stringify bucket keys; the shared helper must
+        # still sort numerically, not lexically
+        counts = {"9.0": 5, "10.0": 5, "100.0": 1}
+        assert quantile_from_counts(counts, 0.5) == 10.0
+        assert quantile_from_counts(counts, 1.0) == 100.0
+
+    def test_monotone_under_concurrent_grouped_updates(self):
+        """p50 <= p95 <= p99 holds in every snapshot while writers hammer
+        the histogram through grouped updates."""
+        reg = MetricsRegistry()
+        h = reg.histogram("latency")
+        stop = threading.Event()
+        bad: list[tuple] = []
+
+        def writer(values):
+            while not stop.is_set():
+                with reg.lock():
+                    for v in values:
+                        h.observe(v)
+
+        def reader():
+            for _ in range(300):
+                counts = reg.snapshot()["latency"]["counts"]
+                p50 = quantile_from_counts(counts, 0.5)
+                p95 = quantile_from_counts(counts, 0.95)
+                p99 = quantile_from_counts(counts, 0.99)
+                if not p50 <= p95 <= p99:
+                    bad.append((p50, p95, p99))
+
+        writers = [
+            threading.Thread(target=writer, args=(vals,))
+            for vals in ((1.0, 2.0), (5.0, 50.0), (100.0,))
+        ]
+        for w in writers:
+            w.start()
+        reader()
+        stop.set()
+        for w in writers:
+            w.join()
+        assert not bad, f"non-monotone percentiles observed: {bad[0]}"
 
 
 class TestFormatSnapshot:

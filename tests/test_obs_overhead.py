@@ -16,6 +16,7 @@ import numpy as np
 import pytest
 
 from repro.converter import convert
+from repro.obs.events import NULL_EVENTS
 from repro.obs.trace import NULL_TRACER, Tracer
 from repro.ops import check_value
 from repro.runtime import Engine
@@ -69,8 +70,8 @@ class TestDisabledOverhead:
         instrumentation really cost more than the budget, *every* round
         would exceed it.  The engine side carries everything the old
         engine also did (input normalization, per-node timing, stats
-        counting) plus the new disabled-tracer checks; the budget bounds
-        their sum.
+        counting) plus the new disabled-tracer and disabled-event-log
+        checks; the budget bounds their sum.
         """
         model, x = traced_setup
         ratios = []
@@ -100,9 +101,20 @@ class TestDisabledOverhead:
     def test_disabled_run_records_nothing(self, traced_setup):
         model, x = traced_setup
         with Engine(model) as engine:
+            assert engine.events is NULL_EVENTS  # default: events off
             engine.run(x)
             engine.run_many([x, x])
         assert NULL_TRACER.spans() == []
+        assert NULL_EVENTS.events() == []
+
+    def test_null_events_is_inert_and_shared(self):
+        """The no-op event log retains nothing, drops nothing, and the
+        hot path's gate is a single attribute read."""
+        assert NULL_EVENTS.enabled is False
+        for i in range(1000):
+            NULL_EVENTS.emit("engine.batch", i=i)
+        assert NULL_EVENTS.events() == []
+        assert NULL_EVENTS.dropped == 0
 
     def test_null_tracer_allocates_no_span_objects(self):
         """Every ``span()`` call on the no-op tracer returns the one

@@ -1,0 +1,104 @@
+"""Deterministic Prometheus text exposition of the metrics registry."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs import (
+    MetricsRegistry,
+    parse_prometheus_text,
+    prom_name,
+    prometheus_text,
+)
+
+
+def test_prom_name_sanitizes_and_prefixes():
+    assert prom_name("gateway.submitted") == "repro_gateway_submitted"
+    assert (
+        prom_name("gateway.quicknet_small.latency_ms")
+        == "repro_gateway_quicknet_small_latency_ms"
+    )
+    assert prom_name("weird-name:x", prefix="") == "weird_name_x"
+
+
+def test_counter_and_gauge_rendering():
+    registry = MetricsRegistry()
+    registry.counter("gateway.submitted").add(3)
+    registry.gauge("pool.depth").set(2.5)
+    text = prometheus_text(registry)
+    assert "# TYPE repro_gateway_submitted counter\n" in text
+    assert "repro_gateway_submitted_total 3\n" in text
+    assert "# TYPE repro_pool_depth gauge\n" in text
+    assert "repro_pool_depth 2.5\n" in text
+
+
+def test_histogram_renders_cumulative_sorted_buckets():
+    registry = MetricsRegistry()
+    hist = registry.histogram("latency_ms")
+    for v in (10.0, 2.0, 2.0, 30.0):
+        hist.observe(v)
+    text = prometheus_text(registry)
+    lines = [l for l in text.splitlines() if l.startswith("repro_latency_ms")]
+    assert lines == [
+        'repro_latency_ms_bucket{le="2.0"} 2',
+        'repro_latency_ms_bucket{le="10.0"} 3',
+        'repro_latency_ms_bucket{le="30.0"} 4',
+        'repro_latency_ms_bucket{le="+Inf"} 4',
+        "repro_latency_ms_sum 44.0",
+        "repro_latency_ms_count 4",
+    ]
+
+
+def test_rendering_is_deterministic_and_sorted():
+    def build():
+        registry = MetricsRegistry()
+        registry.counter("b.second").add(1)
+        registry.gauge("a.first").set(1)
+        registry.histogram("c.third").observe(1.0)
+        return prometheus_text(registry)
+
+    text = build()
+    assert text == build()  # same snapshot -> same bytes
+    names = [
+        l.split(" ", 2)[2].rsplit(" ")[0]
+        for l in text.splitlines()
+        if l.startswith("# TYPE")
+    ]
+    assert names == sorted(names)
+
+
+def test_empty_registry_renders_empty():
+    assert prometheus_text(MetricsRegistry()) == ""
+
+
+def test_parse_round_trip():
+    registry = MetricsRegistry()
+    registry.counter("gateway.submitted").add(7)
+    registry.gauge("obs.events.dropped").set(0)
+    registry.histogram("latency_ms").observe(2.0)
+    parsed = parse_prometheus_text(prometheus_text(registry))
+    assert parsed["repro_gateway_submitted_total"] == 7.0
+    assert parsed["repro_obs_events_dropped"] == 0.0
+    assert parsed['repro_latency_ms_bucket{le="2.0"}'] == 1.0
+    assert parsed['repro_latency_ms_bucket{le="+Inf"}'] == 1.0
+    assert parsed["repro_latency_ms_count"] == 1.0
+
+
+def test_parse_rejects_malformed_and_duplicates():
+    with pytest.raises(ValueError):
+        parse_prometheus_text("just_a_name_no_value\n")
+    with pytest.raises(ValueError):
+        parse_prometheus_text("metric not_a_number\n")
+    with pytest.raises(ValueError):
+        parse_prometheus_text("metric 1\nmetric 2\n")
+    # comments and blank lines are skipped, not errors
+    assert parse_prometheus_text("# TYPE x counter\n\nx_total 1\n") == {
+        "x_total": 1.0
+    }
+
+
+def test_callback_gauges_render_live_values():
+    registry = MetricsRegistry()
+    registry.gauge("obs.trace.dropped", lambda: 5)
+    parsed = parse_prometheus_text(prometheus_text(registry))
+    assert parsed["repro_obs_trace_dropped"] == 5.0

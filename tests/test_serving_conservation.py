@@ -12,7 +12,11 @@ properties checked afterwards:
   mixes, reorders or perturbs values inside a batch;
 - **metric consistency** — the stats snapshot agrees with the replies
   the clients actually saw, batch-size mass equals completed factors,
-  and the latency percentiles are monotone.
+  and the latency percentiles are monotone;
+- **telemetry conservation** — the attached event log records the same
+  story: zero ring-buffer drops (``obs.events.dropped`` /
+  ``obs.trace.dropped`` gauges), a schema-valid stream, and exactly one
+  terminal event per request.
 
 The gateway runs on a FakeClock with ``deadline_ms=0`` (flush as soon as
 the batcher sees work), so no timed wait is ever armed and the whole
@@ -35,7 +39,9 @@ from test_runtime_parity import (
     reference_outputs,
 )
 
+from repro.analysis import validate_events
 from repro.core.types import Padding
+from repro.obs import EventLog, events_to_records
 from repro.serving import SHED_QUEUE_FULL, Gateway, GatewayConfig, Rejected
 
 pytestmark = pytest.mark.serving
@@ -66,7 +72,7 @@ def _gateway_under_stress(rng, seed):
         replicas=2,
         scheduler="least_loaded",
     )
-    gateway = Gateway(graphs, config, clock=FakeClock())
+    gateway = Gateway(graphs, config, clock=FakeClock(), events=EventLog())
     return gateway, inputs, references
 
 
@@ -121,6 +127,8 @@ def test_conservation_under_concurrent_load(rng, seed):
                 assert_bit_identical(reply, references[key])
                 served += 1
         stats = gateway.stats()
+        snapshot = gateway.metrics_snapshot()
+        records = events_to_records(gateway.events)
     finally:
         gateway.close()
 
@@ -149,6 +157,17 @@ def test_conservation_under_concurrent_load(rng, seed):
     # Post-close the queues are empty and both pools are intact.
     assert stats.queue_depth == {"bin": 0, "pool": 0}
     assert stats.replicas_healthy == {"bin": 2, "pool": 2}
+
+    # Telemetry conservation: nothing was dropped on the floor, the
+    # stream is schema-valid, and the event log tells the same story as
+    # the counters (one accept per served request, one terminal each).
+    assert snapshot["obs.events.dropped"] == 0
+    assert snapshot["obs.trace.dropped"] == 0
+    assert validate_events(records) == []
+    kinds = [r["kind"] for r in records[1:]]
+    assert kinds.count("request.accept") == served
+    assert kinds.count("request.complete") == served
+    assert kinds.count("request.shed") == shed
 
 
 def test_second_seed_changes_mix_not_invariants(rng):

@@ -1,0 +1,286 @@
+"""End-to-end telemetry acceptance: events, SLO health, flight recorder.
+
+Everything runs on a FakeClock, so the latency the SLO monitor sees is
+*injected* — the batching deadline is the only thing that moves virtual
+time between submit and completion.  That makes the acceptance matrix
+deterministic:
+
+- a 50 ms deadline against a 10 ms p95 target must judge ``breached``;
+- an immediate flush (deadline 0) against the same target must judge
+  ``healthy``;
+- a forced overload (tiny queue, parked batcher) must shed in a storm
+  and trip the flight recorder into a schema-valid dump;
+- the exported event stream must validate with exactly one terminal
+  event per request id.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+from fake_clock import FakeClock
+from test_runtime_parity import _batched_input, _binary_net
+
+from repro.analysis import validate_events, validate_flight
+from repro.concurrency.locks import LockOrderError, _notify_order_error
+from repro.core.types import Padding
+from repro.obs import (
+    EventLog,
+    FlightRecorder,
+    SLOConfig,
+    Tracer,
+    events_to_records,
+)
+from repro.obs.events import request_kinds
+from repro.serving import (
+    SHED_QUEUE_FULL,
+    SHED_UNKNOWN_MODEL,
+    Gateway,
+    GatewayConfig,
+    Rejected,
+)
+
+pytestmark = pytest.mark.serving
+
+TIMEOUT_S = 30.0
+
+
+def _gateway(rng, *, deadline_ms, max_queue=64, max_batch=8, **kwargs):
+    graph = _binary_net(rng, Padding.SAME_ONE)
+    clock = FakeClock()
+    config = GatewayConfig(
+        max_batch=max_batch,
+        deadline_ms=deadline_ms,
+        max_queue=max_queue,
+        replicas=1,
+    )
+    gateway = Gateway({"bin": graph}, config, clock=clock, **kwargs)
+    return gateway, clock, _batched_input(graph, 1, rng)
+
+
+# ------------------------------------------------------- lifecycle + stream
+def test_event_stream_validates_with_one_terminal_per_request(rng):
+    log = EventLog()
+    gateway, clock, x = _gateway(rng, deadline_ms=0.0, events=log)
+    try:
+        gateway.warmup(factors=(1,))
+        futures = [gateway.submit("bin", x) for _ in range(8)]
+        for f in futures:
+            assert not isinstance(f.result(TIMEOUT_S), Rejected)
+        records = events_to_records(log)
+    finally:
+        gateway.close()
+
+    assert validate_events(records) == []
+    per_request = request_kinds(records[1:])
+    assert len(per_request) == 8
+    for rid, kinds in per_request.items():
+        assert rid.startswith("bin-")
+        assert kinds[0] == "request.accept"
+        assert kinds[-1] == "request.complete"
+        assert sum(k == "request.complete" for k in kinds) == 1
+    kinds = {r["kind"] for r in records[1:]}
+    # the engine's plan/batch events land in the same stream
+    assert "plan.compile" in kinds
+    assert "engine.batch" in kinds
+    assert "batch.flush" in kinds
+
+
+def test_unknown_model_sheds_with_a_request_scoped_event(rng):
+    log = EventLog()
+    gateway, clock, x = _gateway(rng, deadline_ms=0.0, events=log)
+    try:
+        reply = gateway.submit("nope", x).result(TIMEOUT_S)
+        assert isinstance(reply, Rejected)
+        assert reply.reason == SHED_UNKNOWN_MODEL
+        records = events_to_records(log)
+    finally:
+        gateway.close()
+    assert validate_events(records) == []
+    sheds = [r for r in records[1:] if r["kind"] == "request.shed"]
+    assert len(sheds) == 1
+    assert sheds[0]["model"] == "nope"
+    assert sheds[0]["attrs"]["reason"] == SHED_UNKNOWN_MODEL
+
+
+def test_spans_and_events_join_on_request_id(rng):
+    log = EventLog()
+    tracer = Tracer()
+    gateway, clock, x = _gateway(
+        rng, deadline_ms=0.0, events=log, trace=tracer
+    )
+    try:
+        assert not isinstance(
+            gateway.submit("bin", x).result(TIMEOUT_S), Rejected
+        )
+        records = events_to_records(log)
+        spans = tracer.spans()
+    finally:
+        gateway.close()
+    accept = next(r for r in records[1:] if r["kind"] == "request.accept")
+    submit_span = next(s for s in spans if s.name == "gateway.submit")
+    assert submit_span.args["request_id"] == accept["request_id"]
+    flush_span = next(s for s in spans if s.name == "gateway.flush")
+    assert accept["request_id"] in flush_span.args["request_ids"]
+
+
+# ----------------------------------------------------------- injected SLOs
+def _served_with_deadline(rng, deadline_ms, slo):
+    """Serve 3 requests whose latency is the (virtual) batching deadline."""
+    gateway, clock, x = _gateway(rng, deadline_ms=deadline_ms, slo=slo)
+    try:
+        gateway.warmup(factors=(1,))
+        futures = [gateway.submit("bin", x) for _ in range(3)]
+        if deadline_ms > 0:
+            # the batch (3 < max_batch) flushes only when virtual time
+            # reaches the deadline: latency is injected exactly
+            clock.wait_for_timed_waiters(1, TIMEOUT_S)
+            clock.advance(deadline_ms / 1e3)
+        for f in futures:
+            assert not isinstance(f.result(TIMEOUT_S), Rejected)
+        return gateway.health()["bin"], gateway.metrics_snapshot()
+    finally:
+        gateway.close()
+
+
+def test_injected_latency_breaches_p95_slo(rng):
+    slo = SLOConfig(target_p95_ms=10.0, window_s=60.0)
+    health, snapshot = _served_with_deadline(rng, 50.0, slo)
+    assert health.status == "breached"
+    assert health.p95_ms == pytest.approx(50.0)
+    assert health.window_completed == 3
+    assert any("p95" in r for r in health.reasons)
+    assert snapshot["slo.bin.status"] == 2
+
+
+def test_fast_path_is_healthy_under_the_same_slo(rng):
+    slo = SLOConfig(target_p95_ms=10.0, window_s=60.0)
+    health, snapshot = _served_with_deadline(rng, 0.0, slo)
+    assert health.status == "healthy"
+    assert health.reasons == ("ok",)
+    assert health.p95_ms == pytest.approx(0.0)  # zero virtual time passed
+    assert snapshot["slo.bin.status"] == 0
+
+
+def test_slo_for_unknown_model_is_rejected(rng):
+    graph = _binary_net(rng, Padding.SAME_ONE)
+    with pytest.raises(ValueError, match="unknown model"):
+        Gateway(
+            {"bin": graph},
+            GatewayConfig(),
+            clock=FakeClock(),
+            slo={"nope": SLOConfig(target_p95_ms=1.0)},
+        )
+
+
+# --------------------------------------------------------- flight recorder
+def test_overload_storm_trips_the_flight_recorder(rng, tmp_path):
+    log = EventLog()
+    flight = FlightRecorder(
+        tmp_path,
+        shed_storm_threshold=3,
+        shed_storm_window_s=10.0,
+        min_interval_s=0.0,
+    )
+    # A long deadline parks the batcher, so the tiny queue fills and the
+    # remaining submits shed deterministically.
+    gateway, clock, x = _gateway(
+        rng, deadline_ms=1000.0, max_queue=2, events=log, flight=flight
+    )
+    try:
+        gateway.warmup(factors=(1,))
+        first = gateway.submit("bin", x)
+        clock.wait_for_timed_waiters(1, TIMEOUT_S)  # batcher is parked
+        futures = [first] + [gateway.submit("bin", x) for _ in range(9)]
+        replies = []
+        clock.advance(1.0)  # deadline: flush the two accepted requests
+        for f in futures:
+            replies.append(f.result(TIMEOUT_S))
+        records = events_to_records(log)
+        snapshot = gateway.metrics_snapshot()
+    finally:
+        gateway.close()
+
+    shed = [r for r in replies if isinstance(r, Rejected)]
+    assert len(shed) == 8
+    assert all(r.reason == SHED_QUEUE_FULL for r in shed)
+
+    # the storm fired and wrote a schema-valid dump
+    assert flight.dumps >= 1
+    assert snapshot["obs.flight.dumps"] == flight.dumps
+    dump_path = tmp_path / "flight_shed_storm.json"
+    assert dump_path.exists()
+    obj = json.loads(dump_path.read_text())
+    assert validate_flight(obj) == []
+    assert obj["reason"] == "shed_storm"
+    assert obj["metrics"]["gateway.shed"] >= 3
+    assert any(e["kind"] == "gateway.dump" for e in obj["events"])
+
+    # the stream stays valid through the overload: every shed request
+    # has exactly its one terminal event
+    assert validate_events(records) == []
+    per_request = request_kinds(records[1:])
+    assert sum(k == ["request.shed"] for k in per_request.values()) == 8
+
+
+def test_manual_dump_bypasses_the_rate_limit(rng, tmp_path):
+    flight = FlightRecorder(tmp_path, min_interval_s=3600.0)
+    gateway, clock, x = _gateway(
+        rng, deadline_ms=0.0, events=EventLog(), flight=flight
+    )
+    try:
+        assert not isinstance(
+            gateway.submit("bin", x).result(TIMEOUT_S), Rejected
+        )
+        first = gateway.dump("manual")
+        second = gateway.dump("manual")  # forced: the limiter never wins
+    finally:
+        gateway.close()
+    assert first is not None and second is not None
+    obj = json.loads(second.read_text())
+    assert validate_flight(obj) == []
+    assert obj["reason"] == "manual"
+
+
+def test_lock_order_error_hook_defers_then_dumps(rng, tmp_path):
+    flight = FlightRecorder(tmp_path, min_interval_s=0.0)
+    gateway, clock, x = _gateway(
+        rng, deadline_ms=0.0, events=EventLog(), flight=flight
+    )
+    try:
+        # Simulate the sanitizer detecting an inversion on some thread:
+        # the hook must only park the reason (no locks, no I/O)...
+        _notify_order_error(
+            LockOrderError(
+                "synthetic inversion",
+                acquiring="serving.server",
+                held=("obs.metrics",),
+            )
+        )
+        assert flight.dumps == 0
+        # ...and the next safe point (health()) writes the dump.
+        gateway.health()
+        assert flight.dumps == 1
+    finally:
+        gateway.close()
+    obj = json.loads((tmp_path / "flight_lock_order.json").read_text())
+    assert validate_flight(obj) == []
+    assert obj["reason"] == "lock_order"
+
+
+def test_disabled_telemetry_emits_nothing(rng):
+    gateway, clock, x = _gateway(rng, deadline_ms=0.0)
+    try:
+        assert not isinstance(
+            gateway.submit("bin", x).result(TIMEOUT_S), Rejected
+        )
+        assert gateway.events.events() == []
+        records = events_to_records(gateway.events)
+        # health() without an SLO still answers (vacuously healthy)
+        health = gateway.health()["bin"]
+    finally:
+        gateway.close()
+    assert records[0]["count"] == 0
+    assert health.status == "healthy"
+    assert health.reasons == ("no slo configured",)
